@@ -1,0 +1,259 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (DATE 2005), plus ablations of the design choices called out in DESIGN.md.
+// Each benchmark measures the kernel that produces the artifact and prints
+// the artifact's rows once per `go test -bench` process, so
+// `go test -bench=. -benchmem` doubles as the reproduction run. Run counts
+// are reduced from the paper's 10000 to keep bench iterations meaningful;
+// cmd/dtmb-experiments regenerates the full-resolution numbers.
+package dmfb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dmfb/internal/chip"
+	"dmfb/internal/defects"
+	"dmfb/internal/experiments"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/stats"
+	"dmfb/internal/yieldsim"
+)
+
+// printOnce prints each artifact a single time even though benchmarks run
+// with increasing b.N.
+var printOnce sync.Map
+
+func printArtifact(name, body string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", name, body)
+	}
+}
+
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Runs = 400
+	return cfg
+}
+
+// BenchmarkTable1RedundancyRatios regenerates Table 1 (redundancy ratios of
+// the four DTMB designs).
+func BenchmarkTable1RedundancyRatios(b *testing.B) {
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = experiments.Table1()
+	}
+	printArtifact("Table 1", tb.String())
+}
+
+// BenchmarkFigure2ShiftedReplacementCost regenerates the Fig. 2 comparison:
+// shifted replacement on a spare-row array vs interstitial reconfiguration.
+func BenchmarkFigure2ShiftedReplacementCost(b *testing.B) {
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Figure 2", tb.String())
+}
+
+// BenchmarkFigure7YieldDTMB16 regenerates Fig. 7: the analytical DTMB(1,6)
+// yield curves against the no-redundancy baseline.
+func BenchmarkFigure7YieldDTMB16(b *testing.B) {
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		_, tb = experiments.Figure7(nil, nil)
+	}
+	printArtifact("Figure 7", tb.String())
+}
+
+// BenchmarkFigure8MatchingExample regenerates Fig. 8: the bipartite matching
+// between faulty primaries and adjacent fault-free spares.
+func BenchmarkFigure8MatchingExample(b *testing.B) {
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.Figure8(2005)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Figure 8", tb.String())
+}
+
+// BenchmarkFigure9MonteCarloYield regenerates Fig. 9: Monte-Carlo yield of
+// DTMB(2,6)/(3,6)/(4,4) vs p (reduced run count and grid for benchmarking).
+func BenchmarkFigure9MonteCarloYield(b *testing.B) {
+	cfg := benchCfg()
+	ps := []float64{0.90, 0.95, 0.99}
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.Figure9(cfg, []int{100}, ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Figure 9 (n=100, reduced runs)", tb.String())
+}
+
+// BenchmarkFigure10EffectiveYield regenerates Fig. 10: effective yield of
+// all four designs at n = 100.
+func BenchmarkFigure10EffectiveYield(b *testing.B) {
+	cfg := benchCfg()
+	ps := []float64{0.80, 0.90, 0.95, 0.99, 0.999}
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.Figure10(cfg, ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Figure 10 (reduced runs)", tb.String())
+}
+
+// BenchmarkCaseStudyBaselineYield regenerates the §7 baseline: the original
+// 108-cell chip's yield, 0.3378 at p = 0.99.
+func BenchmarkCaseStudyBaselineYield(b *testing.B) {
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		tb = experiments.CaseStudyBaseline(nil)
+	}
+	printArtifact("Case-study baseline", tb.String())
+}
+
+// BenchmarkFigure13CaseStudyYield regenerates Fig. 13: yield of the
+// DTMB(2,6)-based redesign vs the number of injected faults, under all four
+// fault-domain/repair-scope policies.
+func BenchmarkFigure13CaseStudyYield(b *testing.B) {
+	cfg := benchCfg()
+	ms := []int{0, 10, 20, 30, 35, 40, 50}
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.Figure13(cfg, ms, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Figure 13 (reduced runs)", tb.String())
+}
+
+// BenchmarkAblationMatchingAlgorithms compares the Hopcroft–Karp and Kuhn
+// matching kernels on the case-study reconfiguration workload.
+func BenchmarkAblationMatchingAlgorithms(b *testing.B) {
+	c, err := chip.NewRedesignedChip()
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr := c.Array()
+	in := defects.NewInjector(1)
+	for _, alg := range []struct {
+		name string
+		kuhn bool
+	}{{"hopcroft-karp", false}, {"kuhn", true}} {
+		b.Run(alg.name, func(b *testing.B) {
+			var fs *defects.FaultSet
+			for i := 0; i < b.N; i++ {
+				var err error
+				fs, err = in.FixedCount(arr, 35, defects.AllCells, fs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{UseKuhn: alg.kuhn}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDTMB26Variants compares the two DTMB(2,6) geometries
+// (Fig. 4a vs Fig. 4b) at equal redundancy.
+func BenchmarkAblationDTMB26Variants(b *testing.B) {
+	cfg := benchCfg()
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tb, err = experiments.VariantAblation(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Ablation: DTMB(2,6) variants", tb.String())
+}
+
+// BenchmarkAblationBoundaryEffects compares cluster-complete DTMB(1,6)
+// arrays (the analytical model's geometry) against parallelogram arrays.
+func BenchmarkAblationBoundaryEffects(b *testing.B) {
+	cfg := benchCfg()
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tb, err = experiments.BoundaryAblation(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Ablation: boundary effects", tb.String())
+}
+
+// BenchmarkAblationFaultDomainPolicies isolates the Fig. 13 policy choice:
+// the same m under the four fault-domain/repair-scope combinations.
+func BenchmarkAblationFaultDomainPolicies(b *testing.B) {
+	cfg := benchCfg()
+	var points []experiments.Figure13Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, _, err = experiments.Figure13(cfg, []int{35}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	body := ""
+	for _, pt := range points {
+		body += fmt.Sprintf("m=%d %-28s yield %.4f\n", pt.M, pt.Policy, pt.Result.Yield)
+	}
+	printArtifact("Ablation: Fig. 13 policies at m=35", body)
+}
+
+// BenchmarkMonteCarloKernel measures the raw Monte-Carlo yield kernel on
+// the paper's largest sweep configuration (n = 240, DTMB(4,4)).
+func BenchmarkMonteCarloKernel(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB44(), 240)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := yieldsim.NewMonteCarlo(1)
+	mc.Runs = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Yield(arr, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudyReconfiguration measures one full inject-and-repair
+// cycle on the redesigned case-study chip at the paper's headline fault
+// count (m = 35).
+func BenchmarkCaseStudyReconfiguration(b *testing.B) {
+	c, err := chip.NewRedesignedChip()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.InjectFixed(int64(i), 35, defects.AllCells); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Reconfigure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

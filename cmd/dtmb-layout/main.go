@@ -1,0 +1,79 @@
+// Command dtmb-layout renders the DTMB defect-tolerant array designs as
+// ASCII art or SVG, optionally with injected faults and the resulting local
+// reconfiguration highlighted. It regenerates the geometry figures of the
+// paper (Figs. 3-6 and 12).
+//
+// Examples:
+//
+//	dtmb-layout -design 'DTMB(1,6)' -w 14 -h 10
+//	dtmb-layout -design 'DTMB(2,6)' -n 100 -faults 10 -seed 7
+//	dtmb-layout -design 'DTMB(3,6)' -w 20 -h 14 -svg > dtmb36.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/render"
+)
+
+func main() {
+	var (
+		designName = flag.String("design", "DTMB(2,6)", "design name")
+		w          = flag.Int("w", 16, "parallelogram width (ignored with -n)")
+		h          = flag.Int("h", 12, "parallelogram height (ignored with -n)")
+		n          = flag.Int("n", 0, "build with exactly n primary cells instead of -w/-h")
+		faults     = flag.Int("faults", 0, "inject this many random cell faults")
+		seed       = flag.Int64("seed", 2005, "fault-injection seed")
+		svg        = flag.Bool("svg", false, "emit SVG instead of ASCII")
+		size       = flag.Float64("size", 12, "SVG hexagon radius in px")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dtmb-layout:", err)
+		os.Exit(1)
+	}
+
+	d, err := layout.DesignByName(*designName)
+	if err != nil {
+		fail(err)
+	}
+	var arr *layout.Array
+	if *n > 0 {
+		arr, err = layout.BuildWithPrimaryTarget(d, *n)
+	} else {
+		arr, err = layout.BuildParallelogram(d, *w, *h)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	marks := render.Marks{}
+	if *faults > 0 {
+		in := defects.NewInjector(*seed)
+		fs, err := in.FixedCount(arr, *faults, defects.AllCells, nil)
+		if err != nil {
+			fail(err)
+		}
+		plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{})
+		if err != nil {
+			fail(err)
+		}
+		marks.Faults = fs
+		marks.Plan = &plan
+	}
+
+	if *svg {
+		fmt.Print(render.SVG(arr, marks, *size))
+		return
+	}
+	fmt.Print(render.ASCII(arr, marks))
+	fmt.Println(render.Legend())
+	fmt.Println()
+	fmt.Print(render.Summary(arr, marks))
+}

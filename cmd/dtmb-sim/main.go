@@ -1,0 +1,258 @@
+// Command dtmb-sim runs the full defect-tolerance lifecycle end to end on
+// the case-study chip: inject manufacturing faults, reconfigure locally,
+// schedule the multiplexed in-vitro diagnostics workload, and execute a
+// complete glucose assay — dispense, transport, droplet merge, mixing by
+// shuttling, optical detection — on the cycle-accurate fluidics simulator,
+// routing around the faulty cells.
+//
+// Example:
+//
+//	dtmb-sim -faults 10 -glucose 0.004 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfb/internal/bioassay"
+	"dmfb/internal/chip"
+	"dmfb/internal/defects"
+	"dmfb/internal/electrowetting"
+	"dmfb/internal/fluidics"
+	"dmfb/internal/layout"
+	"dmfb/internal/router"
+	"dmfb/internal/scheduler"
+)
+
+func main() {
+	var (
+		faults  = flag.Int("faults", 10, "random cell faults to inject")
+		seed    = flag.Int64("seed", 2005, "fault-injection seed")
+		glucose = flag.Float64("glucose", 0.004, "sample glucose concentration (mol/L)")
+		voltage = flag.Float64("voltage", 60, "electrode control voltage (V)")
+	)
+	flag.Parse()
+	if err := run(*faults, *seed, *glucose, *voltage); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(faults int, seed int64, glucoseConc, voltage float64) error {
+	// 1. Build the defect-tolerant chip and break it.
+	c, err := chip.NewRedesignedChip()
+	if err != nil {
+		return err
+	}
+	arr := c.Array()
+	fmt.Printf("chip: %s\n", arr)
+	if err := c.InjectFixed(seed, faults, defects.AllCells); err != nil {
+		return err
+	}
+	plan, err := c.Reconfigure()
+	if err != nil {
+		return err
+	}
+	st := c.Status()
+	fmt.Printf("faults injected: %d primary, %d spare\n", st.FaultyPrimaries, st.FaultySpares)
+	if !plan.OK {
+		fmt.Println("local reconfiguration FAILED - chip must be discarded")
+		return nil
+	}
+	fmt.Printf("local reconfiguration OK: %d faulty primaries replaced by adjacent spares\n", len(plan.Assignments))
+
+	// 2. Timing from the electrowetting model.
+	ew := electrowetting.Default()
+	stepTime, err := ew.TransportTime(voltage)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("actuation: %.0f V -> droplet velocity %.1f cm/s, %.1f ms per cell\n",
+		voltage, ew.Velocity(voltage)*100, stepTime*1000)
+
+	// 3. Schedule the multiplexed workload (8 assays on shared modules).
+	ops := bioassay.MultiplexedWorkload()
+	sched, err := scheduler.List(ops, scheduler.DefaultResources())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiplexed workload: %d operations, makespan %d cycles (%.2f s at %.0f V)\n",
+		len(ops), sched.Makespan, float64(sched.Makespan)*stepTime, voltage)
+
+	// 4. Execute one glucose assay on the fluidics simulator.
+	protocol := bioassay.ProtocolFor(bioassay.Glucose)
+	absorbance, cycles, err := executeGlucoseAssay(c, protocol, glucoseConc)
+	if err != nil {
+		return err
+	}
+	est, err := protocol.EstimateConcentration(absorbance)
+	if err != nil {
+		return err
+	}
+	truth := glucoseConc / 2 // 1:1 merge dilutes the sample
+	fmt.Printf("glucose assay executed in %d droplet cycles (%.2f s)\n", cycles, float64(cycles)*stepTime)
+	fmt.Printf("detector absorbance: %.4f AU at 545 nm\n", absorbance)
+	fmt.Printf("estimated glucose in mixed droplet: %.4f mol/L (truth %.4f, error %+.2f%%)\n",
+		est, truth, 100*(est-truth)/truth)
+	return nil
+}
+
+// executeGlucoseAssay runs dispense -> transport -> merge -> mix -> detect
+// on the fluidics simulator, avoiding the chip's faulty cells, and returns
+// the measured absorbance and total cycles.
+func executeGlucoseAssay(c interface {
+	Array() *layout.Array
+	Faults() *defects.FaultSet
+}, protocol bioassay.Protocol, conc float64) (float64, int, error) {
+	arr := c.Array()
+	faultSet := c.Faults()
+	sim, err := fluidics.New(arr, faultSet)
+	if err != nil {
+		return 0, 0, err
+	}
+	cons := router.Constraints{Faults: faultSet, PrimariesOnly: true}
+
+	// Pick operation sites: sources far apart, detector between them, and a
+	// mixing site for which sample route, reagent staging route (outside the
+	// sample's interference halo) and a merge approach all exist. Fault
+	// patterns can fragment candidate sites, so try several.
+	usable := router.ReachableFrom(arr, firstUsablePrimary(arr, faultSet), cons)
+	if len(usable) < 30 {
+		return 0, 0, fmt.Errorf("chip too fragmented to run the assay")
+	}
+	sampleSrc := usable[0]
+	reagentSrc := usable[len(usable)-1]
+	detector := usable[len(usable)/4]
+
+	var (
+		mix, approach, staging layout.CellID
+		samplePath, stagePath  []layout.CellID
+		found                  bool
+	)
+	for _, frac := range []int{2, 3, 5, 7, 9, 11} {
+		mixCand := usable[len(usable)*frac/(frac*2+1)]
+		sp, err := router.ShortestPath(arr, sampleSrc, mixCand, cons)
+		if err != nil {
+			continue
+		}
+		blocked := map[layout.CellID]bool{mixCand: true}
+		for _, nb := range arr.Neighbors(mixCand) {
+			blocked[nb] = true
+		}
+		consStage := cons
+		consStage.Blocked = blocked
+		for _, nb := range arr.Neighbors(mixCand) {
+			if faultSet.IsFaulty(nb) || arr.Cell(nb).Role != layout.Primary {
+				continue
+			}
+			for _, nb2 := range arr.Neighbors(nb) {
+				if blocked[nb2] || faultSet.IsFaulty(nb2) || arr.Cell(nb2).Role != layout.Primary || nb2 == reagentSrc {
+					continue
+				}
+				stp, err := router.ShortestPath(arr, reagentSrc, nb2, consStage)
+				if err != nil {
+					continue
+				}
+				mix, approach, staging = mixCand, nb, nb2
+				samplePath, stagePath = sp, stp
+				found = true
+				break
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("no feasible mixing site on this fault pattern")
+	}
+	_ = staging
+
+	sample, err := protocol.SampleDroplet(1.0, conc)
+	if err != nil {
+		return 0, 0, err
+	}
+	reagent, err := protocol.ReagentDroplet(1.0)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Route the sample to the mixing site, then stage the reagent.
+	sampleID, err := sim.Dispense(sampleSrc, sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sim.FollowPath(sampleID, samplePath); err != nil {
+		return 0, 0, err
+	}
+	reagentID, err := sim.Dispense(reagentSrc, reagent)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sim.FollowPath(reagentID, stagePath); err != nil {
+		return 0, 0, err
+	}
+
+	// Merge approach: both droplets sanction the contact, then coalesce.
+	if err := sim.Step([]fluidics.Command{
+		{Droplet: reagentID, Target: approach, MergeWith: sampleID},
+		{Droplet: sampleID, Target: mix, MergeWith: reagentID},
+	}); err != nil {
+		return 0, 0, err
+	}
+	if err := sim.Step([]fluidics.Command{
+		{Droplet: reagentID, Target: mix, MergeWith: sampleID},
+		{Droplet: sampleID, Target: mix, MergeWith: reagentID},
+	}); err != nil {
+		return 0, 0, err
+	}
+	merged := sim.Droplets()[0].ID
+
+	// Mix by shuttling between the mixing site and the approach cell.
+	cells := []layout.CellID{approach, mix}
+	for i := 0; ; i++ {
+		state, ok := sim.Droplet(merged)
+		if !ok {
+			return 0, 0, fmt.Errorf("merged droplet lost")
+		}
+		if state.D.Mixed() {
+			break
+		}
+		if err := sim.Step([]fluidics.Command{{Droplet: merged, Target: cells[i%2]}}); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Transport to the detector and measure.
+	state, _ := sim.Droplet(merged)
+	detPath, err := router.ShortestPath(arr, state.Cell, detector, cons)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sim.FollowPath(merged, detPath); err != nil {
+		return 0, 0, err
+	}
+	state, _ = sim.Droplet(merged)
+	absorbance, err := protocol.Measure(state.D)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := sim.Remove(merged); err != nil {
+		return 0, 0, err
+	}
+	return absorbance, sim.Cycle(), nil
+}
+
+// firstUsablePrimary returns the lowest-ID fault-free primary cell.
+func firstUsablePrimary(arr *layout.Array, fs *defects.FaultSet) layout.CellID {
+	for _, id := range arr.Primaries() {
+		if !fs.IsFaulty(id) {
+			return id
+		}
+	}
+	return layout.NoCell
+}

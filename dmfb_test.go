@@ -1,0 +1,68 @@
+package dmfb_test
+
+import (
+	"math"
+	"testing"
+
+	"dmfb"
+)
+
+func TestFacadeLifecycle(t *testing.T) {
+	chip, err := dmfb.New(dmfb.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip.Array().NumPrimary() != 100 {
+		t.Errorf("primaries %d", chip.Array().NumPrimary())
+	}
+	if err := chip.InjectBernoulli(1, 0.97); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := chip.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = plan.OK // deterministic given the seed; either way the plan is valid
+}
+
+func TestFacadeDesignsMatchTable1(t *testing.T) {
+	designs := dmfb.AllDesigns()
+	if len(designs) != 4 {
+		t.Fatalf("%d designs", len(designs))
+	}
+	wantRR := []float64{1.0 / 6, 1.0 / 3, 0.5, 1.0}
+	for i, d := range designs {
+		if math.Abs(d.RR()-wantRR[i]) > 1e-12 {
+			t.Errorf("%s RR %v, want %v", d.Name, d.RR(), wantRR[i])
+		}
+	}
+	if dmfb.DTMB26Alt().Name != "DTMB(2,6)alt" {
+		t.Error("alt variant missing")
+	}
+}
+
+func TestFacadeYieldHelpers(t *testing.T) {
+	if math.Abs(dmfb.NoRedundancyYield(0.99, 108)-0.3378) > 5e-4 {
+		t.Error("paper baseline number broken")
+	}
+	if dmfb.ClusterYieldDTMB16(1, 120) != 1 {
+		t.Error("cluster yield at p=1")
+	}
+	if math.Abs(dmfb.EffectiveYield(0.9, 0.5)-0.6) > 1e-12 {
+		t.Error("effective yield")
+	}
+}
+
+func TestFacadeRecommendDesign(t *testing.T) {
+	rec, err := dmfb.RecommendDesign(0.999, 60, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best.Name == "" || len(rec.Analyses) != 4 {
+		t.Errorf("recommendation %+v", rec)
+	}
+	// Near-perfect cells: low redundancy must win on effective yield.
+	if rec.Best.RR() > 0.5 {
+		t.Errorf("at p=0.999 best design %s has RR %v", rec.Best.Name, rec.Best.RR())
+	}
+}

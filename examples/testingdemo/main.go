@@ -1,0 +1,83 @@
+// Testing demo: the droplet-based test methodology the paper builds on
+// (refs [10, 11]). A stimulus droplet of conducting fluid walks a coverage
+// route; a droplet that stalls reveals a fault, which adaptive binary search
+// localizes with O(log n) droplets. The diagnosis then drives local
+// reconfiguration, and the parametric-fault model shows why geometry
+// deviations are detectable only beyond the performance tolerance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/electrowetting"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/testplan"
+)
+
+func main() {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chip under test:", arr)
+
+	// Hide six faults: the test procedure only observes droplet arrivals.
+	in := defects.NewInjector(77)
+	truth, err := in.FixedCount(arr, 6, defects.AllCells, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hidden faults: %d (unknown to the tester)\n\n", truth.Count())
+
+	// Plan coverage and run adaptive localization.
+	plan, err := testplan.CoverageWalk(arr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage walk: %d steps visiting all %d cells\n", len(plan.Path), arr.NumCells())
+
+	session, err := testplan.NewSession(arr, truth, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diag, err := session.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnosis: %d faults localized with %d stimulus droplets\n",
+		len(diag.Faulty), diag.TestDroplets)
+	for _, id := range diag.Faulty {
+		fmt.Printf("  cell %3d at %-8v (%s)\n", id, arr.Cell(id).Pos, arr.Cell(id).Role)
+	}
+	if err := testplan.VerifyDiagnosis(arr, truth, diag); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diagnosis verified against ground truth")
+
+	// Feed the diagnosis into reconfiguration.
+	diagnosed := defects.NewFaultSet(arr.NumCells())
+	for _, id := range diag.Faulty {
+		diagnosed.MarkFaulty(id)
+	}
+	rplan, err := reconfig.LocalReconfigure(arr, diagnosed, reconfig.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfiguration after diagnosis: OK=%v, %d replacements\n\n",
+		rplan.OK, len(rplan.Assignments))
+
+	// Parametric faults: detectable only beyond the performance tolerance.
+	ew := electrowetting.Default()
+	const voltage, tolerance = 60, 0.15
+	fmt.Printf("parametric defects at %.0f V (tolerance %.0f%% transport-time deviation):\n",
+		float64(voltage), tolerance*100)
+	for _, dev := range []float64{0.02, 0.10, 0.30, 0.80} {
+		isFault := ew.IsParametricFault(defects.InsulatorThicknessDeviation, dev, voltage, tolerance)
+		vdev := ew.VelocityDeviation(defects.InsulatorThicknessDeviation, dev, voltage)
+		fmt.Printf("  insulator +%3.0f%%: velocity change %+6.1f%%  -> fault: %v\n",
+			dev*100, vdev*100, isFault)
+	}
+}

@@ -1,0 +1,280 @@
+// Package bioassay models the colorimetric enzyme-kinetic assays of the
+// paper's case study (§7): multiplexed in-vitro measurement of glucose,
+// lactate, glutamate and pyruvate in human physiological fluids using
+// Trinder's reaction.
+//
+// Chemistry (glucose variant): glucose oxidase converts glucose to gluconic
+// acid and hydrogen peroxide; peroxidase then couples the peroxide with
+// 4-amino antipyrine (4-AAP) and N-ethyl-N-sulfopropyl-m-toluidine (TOPS)
+// to form violet quinoneimine with an absorbance peak at 545 nm. Under
+// reagent excess the product follows pseudo-first-order kinetics
+// C(t) = C0·(1 − e^{−kt}), and the optical detector reads absorbance through
+// Beer–Lambert's law A = ε·l·C. Inverting the calibration recovers the
+// analyte concentration.
+//
+// The package also defines each assay as an operation DAG (dispense,
+// transport, mix, detect) consumed by the scheduler and the fluidics
+// simulator.
+package bioassay
+
+import (
+	"fmt"
+	"math"
+
+	"dmfb/internal/droplet"
+)
+
+// Kind enumerates the supported assays.
+type Kind uint8
+
+// The four metabolite assays of the multiplexed diagnostics case study.
+const (
+	Glucose Kind = iota
+	Lactate
+	Glutamate
+	Pyruvate
+)
+
+// String names the assay.
+func (k Kind) String() string {
+	switch k {
+	case Glucose:
+		return "glucose"
+	case Lactate:
+		return "lactate"
+	case Glutamate:
+		return "glutamate"
+	case Pyruvate:
+		return "pyruvate"
+	}
+	return fmt.Sprintf("assay(%d)", uint8(k))
+}
+
+// AllKinds returns the four assay kinds.
+func AllKinds() []Kind { return []Kind{Glucose, Lactate, Glutamate, Pyruvate} }
+
+// Protocol is the chemistry of one Trinder-type assay.
+type Protocol struct {
+	Kind Kind
+	// Analyte is the measured species in the sample droplet.
+	Analyte droplet.Species
+	// Oxidase is the analyte-specific enzyme in the reagent droplet.
+	Oxidase droplet.Species
+	// RateConstant k (1/s) of the pseudo-first-order color development.
+	RateConstant float64
+	// Epsilon is the molar absorptivity of quinoneimine at 545 nm
+	// (L/(mol·cm)).
+	Epsilon float64
+	// PathLength is the optical path length through the droplet (cm); set
+	// by the plate gap.
+	PathLength float64
+	// DetectTime is the dwell time (s) on the detector before readout.
+	DetectTime float64
+}
+
+// ProtocolFor returns the protocol of the given assay kind with literature-
+// plausible constants. All four share Trinder chemistry and differ in the
+// oxidase enzyme and rate.
+func ProtocolFor(kind Kind) Protocol {
+	p := Protocol{
+		Kind:       kind,
+		Epsilon:    28000, // quinoneimine-class dye at 545 nm
+		PathLength: 0.03,  // 300 µm plate gap
+		DetectTime: 30,
+	}
+	switch kind {
+	case Glucose:
+		p.Analyte, p.Oxidase, p.RateConstant = droplet.Glucose, droplet.GlucoseOxidase, 0.065
+	case Lactate:
+		p.Analyte, p.Oxidase, p.RateConstant = droplet.Lactate, droplet.LactateOxidase, 0.055
+	case Glutamate:
+		p.Analyte, p.Oxidase, p.RateConstant = droplet.Glutamate, droplet.GlutamateOxidase, 0.040
+	case Pyruvate:
+		p.Analyte, p.Oxidase, p.RateConstant = droplet.Pyruvate, droplet.PyruvateOxidase, 0.050
+	}
+	return p
+}
+
+// SampleDroplet returns a physiological-fluid droplet carrying the analyte
+// at the given concentration (mol/L).
+func (p Protocol) SampleDroplet(volumeNL, concentration float64) (droplet.Droplet, error) {
+	if concentration < 0 {
+		return droplet.Droplet{}, fmt.Errorf("bioassay: negative concentration")
+	}
+	return droplet.New(volumeNL, droplet.Mixture{p.Analyte: concentration})
+}
+
+// ReagentDroplet returns the Trinder reagent droplet: oxidase, peroxidase,
+// 4-AAP and TOPS in excess.
+func (p Protocol) ReagentDroplet(volumeNL float64) (droplet.Droplet, error) {
+	return droplet.New(volumeNL, droplet.Mixture{
+		p.Oxidase:          1e-4,
+		droplet.Peroxidase: 1e-4,
+		droplet.FourAAP:    5e-3,
+		droplet.TOPS:       5e-3,
+	})
+}
+
+// ReactionProduct returns the quinoneimine concentration after the mixed
+// droplet has reacted for t seconds, given the diluted analyte
+// concentration: C(t) = C_analyte·(1 − e^{−kt}). One mole of analyte yields
+// one mole of dye.
+func (p Protocol) ReactionProduct(analyteConc, t float64) float64 {
+	if t <= 0 || analyteConc <= 0 {
+		return 0
+	}
+	return analyteConc * (1 - math.Exp(-p.RateConstant*t))
+}
+
+// Absorbance returns the Beer–Lambert absorbance of the droplet after t
+// seconds of reaction: A = ε·l·C(t).
+func (p Protocol) Absorbance(analyteConc, t float64) float64 {
+	return p.Epsilon * p.PathLength * p.ReactionProduct(analyteConc, t)
+}
+
+// ReactionReady reports whether the mixed droplet has the reagents needed
+// for color development.
+func (p Protocol) ReactionReady(m droplet.Mixture) bool {
+	return m.Concentration(p.Analyte) > 0 &&
+		m.Concentration(p.Oxidase) > 0 &&
+		m.Concentration(droplet.Peroxidase) > 0 &&
+		m.Concentration(droplet.FourAAP) > 0 &&
+		m.Concentration(droplet.TOPS) > 0
+}
+
+// Measure simulates the optical detection of a reacted droplet: it returns
+// the absorbance read after DetectTime seconds, or an error when the droplet
+// is not a ready, mixed reaction droplet.
+func (p Protocol) Measure(d droplet.Droplet) (float64, error) {
+	if !d.Mixed() {
+		return 0, fmt.Errorf("bioassay: droplet not homogenized (%.0f%%)", d.Mixedness*100)
+	}
+	if !p.ReactionReady(d.Contents) {
+		return 0, fmt.Errorf("bioassay: droplet lacks %s reaction components", p.Kind)
+	}
+	return p.Absorbance(d.Contents.Concentration(p.Analyte), p.DetectTime), nil
+}
+
+// EstimateConcentration inverts the calibration: given the absorbance read
+// after DetectTime seconds, it returns the analyte concentration in the
+// mixed droplet.
+func (p Protocol) EstimateConcentration(absorbance float64) (float64, error) {
+	if absorbance < 0 {
+		return 0, fmt.Errorf("bioassay: negative absorbance")
+	}
+	den := p.Epsilon * p.PathLength * (1 - math.Exp(-p.RateConstant*p.DetectTime))
+	if den <= 0 {
+		return 0, fmt.Errorf("bioassay: degenerate calibration")
+	}
+	return absorbance / den, nil
+}
+
+// OpKind enumerates assay operations.
+type OpKind uint8
+
+// Operations of a Trinder assay on a digital microfluidic biochip.
+const (
+	OpDispenseSample OpKind = iota
+	OpDispenseReagent
+	OpTransport
+	OpMix
+	OpDetect
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpDispenseSample:
+		return "dispense-sample"
+	case OpDispenseReagent:
+		return "dispense-reagent"
+	case OpTransport:
+		return "transport"
+	case OpMix:
+		return "mix"
+	case OpDetect:
+		return "detect"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one node of an assay's operation DAG.
+type Op struct {
+	// ID is unique within the assay set.
+	ID int
+	// Assay names the owning assay instance.
+	Assay string
+	// Kind is the operation type.
+	Kind OpKind
+	// Deps lists operation IDs that must complete first.
+	Deps []int
+	// Duration is the operation latency in scheduler time units (cycles).
+	Duration int
+	// Resource names the module class the operation occupies ("" = none):
+	// "dispenser", "mixer", "detector".
+	Resource string
+}
+
+// Operations returns the canonical operation DAG of one assay instance:
+// dispense sample and reagent (in parallel), transport both to a mixer, mix,
+// transport to a detector, detect. IDs start at firstID; the returned
+// nextID is the first free ID after the DAG.
+func Operations(assay string, firstID int) (ops []Op, nextID int) {
+	id := firstID
+	mk := func(kind OpKind, dur int, resource string, deps ...int) Op {
+		op := Op{ID: id, Assay: assay, Kind: kind, Deps: deps, Duration: dur, Resource: resource}
+		id++
+		ops = append(ops, op)
+		return op
+	}
+	ds := mk(OpDispenseSample, 2, "dispenser")
+	dr := mk(OpDispenseReagent, 2, "dispenser")
+	tr := mk(OpTransport, 6, "", ds.ID, dr.ID)
+	mx := mk(OpMix, 16, "mixer", tr.ID)
+	td := mk(OpTransport, 4, "", mx.ID)
+	mk(OpDetect, 30, "detector", td.ID)
+	return ops, id
+}
+
+// MultiplexedWorkload returns the operation DAG of the full case study: the
+// four metabolite assays on two physiological-fluid samples (eight assay
+// instances), as multiplexed on the fabricated chip.
+func MultiplexedWorkload() []Op {
+	var ops []Op
+	id := 0
+	for _, sample := range []string{"sample1", "sample2"} {
+		for _, kind := range AllKinds() {
+			name := fmt.Sprintf("%s/%s", sample, kind)
+			var assayOps []Op
+			assayOps, id = Operations(name, id)
+			ops = append(ops, assayOps...)
+		}
+	}
+	return ops
+}
+
+// ValidateDAG checks that dependencies reference earlier ops and IDs are
+// unique and dense enough to schedule.
+func ValidateDAG(ops []Op) error {
+	seen := make(map[int]bool, len(ops))
+	for _, op := range ops {
+		if seen[op.ID] {
+			return fmt.Errorf("bioassay: duplicate op ID %d", op.ID)
+		}
+		seen[op.ID] = true
+	}
+	for _, op := range ops {
+		for _, d := range op.Deps {
+			if !seen[d] {
+				return fmt.Errorf("bioassay: op %d depends on unknown op %d", op.ID, d)
+			}
+			if d == op.ID {
+				return fmt.Errorf("bioassay: op %d depends on itself", op.ID)
+			}
+		}
+		if op.Duration <= 0 {
+			return fmt.Errorf("bioassay: op %d has non-positive duration", op.ID)
+		}
+	}
+	return nil
+}

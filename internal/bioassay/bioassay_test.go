@@ -1,0 +1,220 @@
+package bioassay
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dmfb/internal/droplet"
+)
+
+func TestProtocolForAllKinds(t *testing.T) {
+	seen := map[droplet.Species]bool{}
+	for _, k := range AllKinds() {
+		p := ProtocolFor(k)
+		if p.Kind != k {
+			t.Errorf("%v: kind mismatch", k)
+		}
+		if p.Analyte == "" || p.Oxidase == "" {
+			t.Errorf("%v: missing species", k)
+		}
+		if seen[p.Analyte] {
+			t.Errorf("%v: analyte %s reused", k, p.Analyte)
+		}
+		seen[p.Analyte] = true
+		if p.RateConstant <= 0 || p.Epsilon <= 0 || p.PathLength <= 0 || p.DetectTime <= 0 {
+			t.Errorf("%v: non-positive constants %+v", k, p)
+		}
+	}
+	if Kind(99).String() == "" || !strings.HasPrefix(Kind(99).String(), "assay(") {
+		t.Error("unknown kind should have numeric name")
+	}
+}
+
+func TestReactionProductKinetics(t *testing.T) {
+	p := ProtocolFor(Glucose)
+	c0 := 0.005
+	if p.ReactionProduct(c0, 0) != 0 {
+		t.Error("no product at t=0")
+	}
+	if p.ReactionProduct(0, 100) != 0 {
+		t.Error("no product without analyte")
+	}
+	// Monotone increasing, asymptote at c0.
+	prev := -1.0
+	for _, tt := range []float64{1, 5, 10, 30, 60, 300} {
+		c := p.ReactionProduct(c0, tt)
+		if c <= prev {
+			t.Errorf("product not increasing at t=%v", tt)
+		}
+		if c > c0 {
+			t.Errorf("product %v exceeds analyte %v", c, c0)
+		}
+		prev = c
+	}
+	if got := p.ReactionProduct(c0, 1e6); math.Abs(got-c0) > 1e-9 {
+		t.Errorf("asymptote %v, want %v", got, c0)
+	}
+	// Half-life: C(t½) = C0/2 at t½ = ln2/k.
+	tHalf := math.Ln2 / p.RateConstant
+	if got := p.ReactionProduct(c0, tHalf); math.Abs(got-c0/2) > 1e-12 {
+		t.Errorf("half-life product %v, want %v", got, c0/2)
+	}
+}
+
+func TestAbsorbanceBeerLambert(t *testing.T) {
+	p := ProtocolFor(Lactate)
+	// Absorbance is linear in product concentration.
+	a1 := p.Absorbance(0.001, p.DetectTime)
+	a2 := p.Absorbance(0.002, p.DetectTime)
+	if math.Abs(a2-2*a1) > 1e-12 {
+		t.Errorf("absorbance not linear: %v vs %v", a1, a2)
+	}
+}
+
+func TestMeasureAndEstimateRoundTrip(t *testing.T) {
+	for _, k := range AllKinds() {
+		p := ProtocolFor(k)
+		sample, err := p.SampleDroplet(1.0, 0.004)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reagent, err := p.ReagentDroplet(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed := droplet.Merge(sample, reagent)
+		mixed.AdvanceMixing(1)
+		a, err := p.Measure(mixed)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if a <= 0 {
+			t.Fatalf("%v: absorbance %v", k, a)
+		}
+		est, err := p.EstimateConcentration(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The merge diluted 0.004 mol/L 1:1 to 0.002.
+		if math.Abs(est-0.002) > 1e-9 {
+			t.Errorf("%v: estimated %v, want 0.002", k, est)
+		}
+	}
+}
+
+func TestMeasureRejectsUnmixedAndIncomplete(t *testing.T) {
+	p := ProtocolFor(Glucose)
+	sample, _ := p.SampleDroplet(1, 0.004)
+	reagent, _ := p.ReagentDroplet(1)
+	mixed := droplet.Merge(sample, reagent)
+	if _, err := p.Measure(mixed); err == nil {
+		t.Error("unmixed droplet accepted")
+	}
+	// Sample alone lacks reagents.
+	if _, err := p.Measure(sample); err == nil {
+		t.Error("reagent-free droplet accepted")
+	}
+	// Wrong assay's reagent.
+	lactateReagent, _ := ProtocolFor(Lactate).ReagentDroplet(1)
+	wrong := droplet.Merge(sample, lactateReagent)
+	wrong.AdvanceMixing(1)
+	if _, err := p.Measure(wrong); err == nil {
+		t.Error("glucose measurement with lactate reagent accepted")
+	}
+}
+
+func TestSampleDropletValidation(t *testing.T) {
+	p := ProtocolFor(Glucose)
+	if _, err := p.SampleDroplet(1, -0.1); err == nil {
+		t.Error("negative concentration accepted")
+	}
+	if _, err := p.SampleDroplet(0, 0.1); err == nil {
+		t.Error("zero volume accepted")
+	}
+}
+
+func TestEstimateConcentrationValidation(t *testing.T) {
+	p := ProtocolFor(Glucose)
+	if _, err := p.EstimateConcentration(-0.5); err == nil {
+		t.Error("negative absorbance accepted")
+	}
+	if _, err := p.EstimateConcentration(0); err != nil {
+		t.Error("zero absorbance should estimate zero")
+	}
+}
+
+func TestOperationsDAGShape(t *testing.T) {
+	ops, next := Operations("sample1/glucose", 0)
+	if len(ops) != 6 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	if next != 6 {
+		t.Errorf("nextID %d", next)
+	}
+	if err := ValidateDAG(ops); err != nil {
+		t.Fatal(err)
+	}
+	// Kinds in canonical order.
+	wantKinds := []OpKind{OpDispenseSample, OpDispenseReagent, OpTransport, OpMix, OpTransport, OpDetect}
+	for i, op := range ops {
+		if op.Kind != wantKinds[i] {
+			t.Errorf("op %d kind %v, want %v", i, op.Kind, wantKinds[i])
+		}
+		if op.Assay != "sample1/glucose" {
+			t.Errorf("op %d assay %q", i, op.Assay)
+		}
+	}
+	// Mix depends on transport which depends on both dispenses.
+	if len(ops[2].Deps) != 2 {
+		t.Error("transport must wait for both dispenses")
+	}
+	if len(ops[5].Deps) != 1 || ops[5].Deps[0] != ops[4].ID {
+		t.Error("detect must follow the final transport")
+	}
+}
+
+func TestMultiplexedWorkload(t *testing.T) {
+	ops := MultiplexedWorkload()
+	if len(ops) != 48 { // 2 samples x 4 assays x 6 ops
+		t.Fatalf("%d ops, want 48", len(ops))
+	}
+	if err := ValidateDAG(ops); err != nil {
+		t.Fatal(err)
+	}
+	assays := map[string]int{}
+	for _, op := range ops {
+		assays[op.Assay]++
+	}
+	if len(assays) != 8 {
+		t.Errorf("%d assay instances, want 8", len(assays))
+	}
+	for name, count := range assays {
+		if count != 6 {
+			t.Errorf("assay %s has %d ops", name, count)
+		}
+	}
+}
+
+func TestValidateDAGRejectsBadShapes(t *testing.T) {
+	if err := ValidateDAG([]Op{{ID: 1, Duration: 1}, {ID: 1, Duration: 1}}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if err := ValidateDAG([]Op{{ID: 1, Duration: 1, Deps: []int{2}}}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	if err := ValidateDAG([]Op{{ID: 1, Duration: 1, Deps: []int{1}}}); err == nil {
+		t.Error("self-dependency accepted")
+	}
+	if err := ValidateDAG([]Op{{ID: 1, Duration: 0}}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpDispenseSample, OpDispenseReagent, OpTransport, OpMix, OpDetect} {
+		if strings.HasPrefix(k.String(), "op(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

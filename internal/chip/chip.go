@@ -1,0 +1,183 @@
+// Package chip builds the multiplexed in-vitro diagnostics biochips of the
+// paper's case study (§7).
+//
+// Two chips are modeled. The original fabricated chip (paper Fig. 11) is a
+// square-electrode array whose assay footprint — sample and reagent
+// reservoirs, transport routes, two mixing regions, detection sites with
+// transparent electrodes, droplet storage, and a waste reservoir — uses
+// exactly 108 cells and has no spares, so its yield is p^108 (0.3378 at
+// p = 0.99). The redesigned chip maps the same workload onto a
+// hexagonal-electrode DTMB(2,6) array with exactly 252 primary and 91 spare
+// cells (343 total), the counts the paper reports, enabling local
+// reconfiguration.
+//
+// The paper's Fig. 11 floorplan photograph is not machine-readable; the
+// reconstruction here preserves the quantitative facts the experiments
+// depend on (108 used cells; 252 + 91 redesign; DTMB(2,6) structure) and a
+// functionally equivalent topology (sources on the array edges, central
+// mixers, detection loops). See DESIGN.md §5.
+package chip
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/core"
+	"dmfb/internal/hexgrid"
+	"dmfb/internal/layout"
+	"dmfb/internal/sqgrid"
+	"dmfb/internal/yieldsim"
+)
+
+// UsedCellCount is the paper's count of cells used by the multiplexed
+// bioassays on the original chip.
+const UsedCellCount = 108
+
+// RedesignPrimaries and RedesignSpares are the paper's cell counts for the
+// DTMB(2,6)-based defect-tolerant redesign.
+const (
+	RedesignPrimaries = 252
+	RedesignSpares    = 91
+)
+
+// OriginalChip is the reconstructed first-generation square-electrode chip.
+type OriginalChip struct {
+	// Placement holds the named assay modules on the square grid.
+	Placement sqgrid.Placement
+	// Used lists the cells covered by assay modules, sorted row-major.
+	Used []sqgrid.Coord
+}
+
+// OriginalChipLayout reconstructs the Fig. 11 floorplan: a 16×16 square
+// array whose assay modules cover exactly 108 cells. Reservoirs sit on the
+// west and east edges (SAMPLE1/2 carry physiological fluids, REAGENT1/2 the
+// enzyme reagents), routes feed two stacked 4×3 mixers in the center, and
+// detection columns with transparent-electrode detector sites run north and
+// south toward a waste reservoir and four storage areas.
+func OriginalChipLayout() (*OriginalChip, error) {
+	p := sqgrid.Placement{
+		Grid: sqgrid.Grid{W: 16, H: 16},
+		Modules: []sqgrid.Module{
+			{Name: "SAMPLE1", X: 0, Y: 6, W: 2, H: 2},
+			{Name: "SAMPLE2", X: 14, Y: 6, W: 2, H: 2},
+			{Name: "REAGENT1", X: 0, Y: 9, W: 2, H: 2},
+			{Name: "REAGENT2", X: 14, Y: 9, W: 2, H: 2},
+			{Name: "ROUTE-WEST-UPPER", X: 2, Y: 7, W: 4, H: 1},
+			{Name: "ROUTE-WEST-LOWER", X: 2, Y: 10, W: 4, H: 1},
+			{Name: "ROUTE-EAST-UPPER", X: 10, Y: 7, W: 4, H: 1},
+			{Name: "ROUTE-EAST-LOWER", X: 10, Y: 10, W: 4, H: 1},
+			{Name: "MIXER1", X: 6, Y: 6, W: 4, H: 3},
+			{Name: "MIXER2", X: 6, Y: 9, W: 4, H: 3},
+			{Name: "DETECT-NORTH", X: 7, Y: 1, W: 1, H: 5},
+			{Name: "DETECT-SOUTH", X: 7, Y: 12, W: 1, H: 4},
+			{Name: "DETECTOR-GLUCOSE", X: 6, Y: 1, W: 1, H: 1},
+			{Name: "DETECTOR-LACTATE", X: 8, Y: 1, W: 1, H: 1},
+			{Name: "DETECTOR-GLUTAMATE", X: 6, Y: 14, W: 1, H: 1},
+			{Name: "DETECTOR-PYRUVATE", X: 8, Y: 14, W: 1, H: 1},
+			{Name: "STORAGE-NW", X: 2, Y: 4, W: 3, H: 3},
+			{Name: "STORAGE-NE", X: 11, Y: 4, W: 3, H: 3},
+			{Name: "STORAGE-SW", X: 2, Y: 11, W: 3, H: 3},
+			{Name: "STORAGE-SE", X: 11, Y: 11, W: 3, H: 3},
+			{Name: "WASTE", X: 6, Y: 0, W: 3, H: 1},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("chip: original layout invalid: %w", err)
+	}
+	used := p.UsedCells()
+	if len(used) != UsedCellCount {
+		return nil, fmt.Errorf("chip: original layout uses %d cells, want %d", len(used), UsedCellCount)
+	}
+	return &OriginalChip{Placement: p, Used: used}, nil
+}
+
+// OriginalYield returns the yield of the original chip at cell survival
+// probability p. Without spares, all 108 assay cells must be fault-free.
+func OriginalYield(p float64) float64 {
+	return yieldsim.NoRedundancy(p, UsedCellCount)
+}
+
+// redesignRegion builds the region of the DTMB(2,6) redesign: a 14×25 axial
+// parallelogram (which contains exactly 91 spare sites under the
+// even-even rule and 259 primaries) minus 7 deterministic odd-odd boundary
+// primary cells, leaving 252 primaries and 343 cells in total.
+func redesignRegion() *hexgrid.Region {
+	region := hexgrid.Parallelogram(14, 25)
+	trimmed := 0
+	for r := 1; r < 25 && trimmed < 7; r += 2 {
+		region.Remove(hexgrid.Axial{Q: 13, R: r})
+		trimmed++
+	}
+	return region
+}
+
+// NewRedesignedChip builds the DTMB(2,6)-based defect-tolerant redesign with
+// the paper's cell counts (252 primary + 91 spare) and marks the 108
+// assay-used primary cells. The used footprint is the breadth-first ball of
+// 108 primaries grown from the array center through primary-to-primary
+// adjacency, a connected region mirroring the original chip's footprint.
+func NewRedesignedChip() (*core.Biochip, error) {
+	arr, err := layout.Build(layout.DTMB26(), redesignRegion())
+	if err != nil {
+		return nil, err
+	}
+	if arr.NumPrimary() != RedesignPrimaries || arr.NumSpare() != RedesignSpares {
+		return nil, fmt.Errorf("chip: redesign has %d primaries and %d spares, want %d/%d",
+			arr.NumPrimary(), arr.NumSpare(), RedesignPrimaries, RedesignSpares)
+	}
+	chip := core.FromArray(arr)
+	used, err := usedFootprint(arr, UsedCellCount)
+	if err != nil {
+		return nil, err
+	}
+	if err := chip.MarkUsed(used...); err != nil {
+		return nil, err
+	}
+	return chip, nil
+}
+
+// usedFootprint selects n primary cells by deterministic breadth-first
+// search from the primary nearest the region centroid, walking only
+// primary-to-primary adjacency so the footprint is a connected assay region.
+func usedFootprint(arr *layout.Array, n int) ([]layout.CellID, error) {
+	primaries := arr.Primaries()
+	if len(primaries) < n {
+		return nil, fmt.Errorf("chip: need %d used cells, array has %d primaries", n, len(primaries))
+	}
+	// Centroid of all cells.
+	var sq, sr int
+	for i := 0; i < arr.NumCells(); i++ {
+		pos := arr.Cell(layout.CellID(i)).Pos
+		sq += pos.Q
+		sr += pos.R
+	}
+	center := hexgrid.Axial{Q: sq / arr.NumCells(), R: sr / arr.NumCells()}
+	start := layout.NoCell
+	bestDist := 1 << 30
+	for _, id := range primaries {
+		if d := arr.Cell(id).Pos.Distance(center); d < bestDist {
+			bestDist = d
+			start = id
+		}
+	}
+	visited := map[layout.CellID]bool{start: true}
+	queue := []layout.CellID{start}
+	var used []layout.CellID
+	for len(queue) > 0 && len(used) < n {
+		cur := queue[0]
+		queue = queue[1:]
+		used = append(used, cur)
+		nbrs := append([]layout.CellID(nil), arr.PrimaryNeighbors(cur)...)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nb := range nbrs {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(used) < n {
+		return nil, fmt.Errorf("chip: primary subgraph exhausted at %d cells, need %d", len(used), n)
+	}
+	return used, nil
+}

@@ -1,0 +1,201 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/sqgrid"
+)
+
+func TestOriginalChipUsesExactly108Cells(t *testing.T) {
+	oc, err := OriginalChipLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oc.Used) != UsedCellCount {
+		t.Fatalf("used cells = %d, want %d", len(oc.Used), UsedCellCount)
+	}
+	if err := oc.Placement.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOriginalChipHasExpectedModules(t *testing.T) {
+	oc, err := OriginalChipLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range oc.Placement.Modules {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"SAMPLE1", "SAMPLE2", "REAGENT1", "REAGENT2",
+		"MIXER1", "MIXER2", "WASTE",
+		"DETECTOR-GLUCOSE", "DETECTOR-LACTATE", "DETECTOR-GLUTAMATE", "DETECTOR-PYRUVATE",
+	} {
+		if !names[want] {
+			t.Errorf("missing module %s", want)
+		}
+	}
+}
+
+func TestOriginalChipFootprintConnected(t *testing.T) {
+	// Droplets must be able to reach every assay cell: the 108-cell
+	// footprint is connected under 4-adjacency.
+	oc, err := OriginalChipLayout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inUse := map[sqgrid.Coord]bool{}
+	for _, c := range oc.Used {
+		inUse[c] = true
+	}
+	start := oc.Used[0]
+	seen := map[sqgrid.Coord]bool{start: true}
+	queue := []sqgrid.Coord{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range cur.Neighbors4() {
+			if inUse[n] && !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	if len(seen) != len(oc.Used) {
+		t.Errorf("footprint has %d reachable of %d cells", len(seen), len(oc.Used))
+	}
+}
+
+func TestOriginalYieldPaperNumber(t *testing.T) {
+	// Paper §7: yield 0.3378 at p = 0.99 for the original chip.
+	if got := OriginalYield(0.99); math.Abs(got-0.3378) > 5e-4 {
+		t.Errorf("OriginalYield(0.99) = %.4f, want 0.3378", got)
+	}
+	if OriginalYield(1) != 1 {
+		t.Error("perfect cells must give yield 1")
+	}
+}
+
+func TestRedesignedChipPaperCounts(t *testing.T) {
+	// Paper §7: "There are 252 primary cells (108 of them used in assays)
+	// and 91 spare cells in this defect-tolerant biochip."
+	chip, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := chip.Array()
+	if arr.NumPrimary() != 252 {
+		t.Errorf("primaries = %d, want 252", arr.NumPrimary())
+	}
+	if arr.NumSpare() != 91 {
+		t.Errorf("spares = %d, want 91", arr.NumSpare())
+	}
+	if arr.NumCells() != 343 {
+		t.Errorf("total cells = %d, want 343", arr.NumCells())
+	}
+	if chip.NumUsed() != 108 {
+		t.Errorf("used cells = %d, want 108", chip.NumUsed())
+	}
+	if arr.Design().Name != "DTMB(2,6)" {
+		t.Errorf("design = %s", arr.Design().Name)
+	}
+	if err := arr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedesignRedundancyRatioNearOneThird(t *testing.T) {
+	chip, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := chip.Array().RedundancyRatio()
+	// 91/252 = 0.3611; the asymptotic DTMB(2,6) ratio is 1/3. Boundary
+	// effects keep the finite ratio slightly above.
+	if math.Abs(rr-91.0/252.0) > 1e-9 {
+		t.Errorf("RR = %v", rr)
+	}
+}
+
+func TestRedesignUsedFootprintConnected(t *testing.T) {
+	chip, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := chip.Array()
+	used := chip.UsedCells()
+	inUse := map[layout.CellID]bool{}
+	for _, id := range used {
+		inUse[id] = true
+		if arr.Cell(id).Role != layout.Primary {
+			t.Fatalf("used cell %d is not primary", id)
+		}
+	}
+	seen := map[layout.CellID]bool{used[0]: true}
+	queue := []layout.CellID{used[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range arr.PrimaryNeighbors(cur) {
+			if inUse[nb] && !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(seen) != len(used) {
+		t.Errorf("used footprint: %d reachable of %d", len(seen), len(used))
+	}
+}
+
+func TestRedesignDeterministic(t *testing.T) {
+	a, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, ub := a.UsedCells(), b.UsedCells()
+	if len(ua) != len(ub) {
+		t.Fatal("used sets differ in size")
+	}
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("used sets differ at %d: %d vs %d", i, ua[i], ub[i])
+		}
+	}
+}
+
+func TestRedesignSurvivesModerateFaults(t *testing.T) {
+	// Paper Fig. 12(b): an example with 10 faulty cells reconfigures
+	// successfully. With a fixed seed this is deterministic.
+	chip, err := NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.InjectFixed(2005, 10, defects.AllCells); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := chip.Reconfigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.OK {
+		t.Errorf("10-fault reconfiguration failed: %d unmatched", len(plan.Unmatched))
+	}
+}
+
+func BenchmarkNewRedesignedChip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRedesignedChip(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package controller compiles droplet motion plans into electrode
+// activation sequences — the paper's §3: "the configurations of the
+// microfluidic array are programmed into a microcontroller that controls
+// the voltages of electrodes in the array".
+//
+// A Frame is one clock cycle's electrode state: the set of cells driven at
+// the control voltage while everything else is grounded. Moving a droplet
+// means activating the destination electrode and deactivating the one under
+// the droplet; holding means keeping the droplet's own electrode energized.
+// The compiler also reports driver statistics (activations, peak
+// simultaneous electrodes, switching energy ∝ C·V² per activation) used to
+// budget the chip's pin drivers.
+package controller
+
+import (
+	"fmt"
+
+	"dmfb/internal/electrowetting"
+	"dmfb/internal/layout"
+	"dmfb/internal/router"
+)
+
+// Frame is the electrode state of one cycle.
+type Frame struct {
+	// Cycle is the frame index, starting at 0.
+	Cycle int
+	// Active lists the electrodes driven at Voltage this cycle, ascending.
+	Active []layout.CellID
+	// Voltage is the drive voltage (V).
+	Voltage float64
+}
+
+// Program is a compiled activation sequence.
+type Program struct {
+	Frames  []Frame
+	Voltage float64
+}
+
+// Stats summarizes driver load.
+type Stats struct {
+	// Frames is the program length in cycles.
+	Frames int
+	// Activations counts electrode-cycles driven.
+	Activations int
+	// PeakSimultaneous is the maximum electrodes driven in one cycle,
+	// bounding the number of simultaneously switched driver pins.
+	PeakSimultaneous int
+	// SwitchingEnergy is the total C·V²·A energy of all activations in
+	// joules, with C the per-area insulator capacitance and A the electrode
+	// area from the electrowetting parameters.
+	SwitchingEnergy float64
+}
+
+// Stats computes driver statistics under the given device parameters.
+func (p Program) Stats(params electrowetting.Params) Stats {
+	st := Stats{Frames: len(p.Frames)}
+	capacitance := params.InsulatorPermittivity * 8.8541878128e-12 / params.InsulatorThickness
+	area := params.ElectrodePitch * params.ElectrodePitch
+	for _, f := range p.Frames {
+		st.Activations += len(f.Active)
+		if len(f.Active) > st.PeakSimultaneous {
+			st.PeakSimultaneous = len(f.Active)
+		}
+	}
+	st.SwitchingEnergy = capacitance * area * p.Voltage * p.Voltage * float64(st.Activations)
+	return st
+}
+
+// CompilePath compiles a single-droplet path (consecutive cells adjacent,
+// starting at the droplet's current cell) into frames: each step activates
+// the next cell; the final frame holds the droplet at its destination.
+func CompilePath(arr *layout.Array, path []layout.CellID, voltage float64) (Program, error) {
+	if len(path) == 0 {
+		return Program{}, fmt.Errorf("controller: empty path")
+	}
+	if voltage <= 0 {
+		return Program{}, fmt.Errorf("controller: non-positive voltage")
+	}
+	for i, id := range path {
+		if id < 0 || int(id) >= arr.NumCells() {
+			return Program{}, fmt.Errorf("controller: path cell %d out of range", id)
+		}
+		if i == 0 || path[i-1] == id {
+			continue
+		}
+		adjacent := false
+		for _, nb := range arr.Neighbors(path[i-1]) {
+			if nb == id {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			return Program{}, fmt.Errorf("controller: path jumps %d -> %d", path[i-1], id)
+		}
+	}
+	prog := Program{Voltage: voltage}
+	for i := 1; i < len(path); i++ {
+		prog.Frames = append(prog.Frames, Frame{
+			Cycle:   i - 1,
+			Active:  []layout.CellID{path[i]},
+			Voltage: voltage,
+		})
+	}
+	// Terminal hold frame keeps the droplet parked.
+	prog.Frames = append(prog.Frames, Frame{
+		Cycle:   len(path) - 1,
+		Active:  []layout.CellID{path[len(path)-1]},
+		Voltage: voltage,
+	})
+	return prog, nil
+}
+
+// CompileSchedule compiles a multi-droplet router schedule into frames: at
+// each cycle the electrodes of every droplet's next cell are driven (moving
+// droplets get their destination, holding droplets their own cell).
+func CompileSchedule(arr *layout.Array, s router.Schedule, voltage float64) (Program, error) {
+	if len(s.Steps) == 0 {
+		return Program{}, fmt.Errorf("controller: empty schedule")
+	}
+	if voltage <= 0 {
+		return Program{}, fmt.Errorf("controller: non-positive voltage")
+	}
+	prog := Program{Voltage: voltage}
+	for t := 1; t < len(s.Steps); t++ {
+		frame := Frame{Cycle: t - 1, Voltage: voltage}
+		seen := map[layout.CellID]bool{}
+		for i := range s.Steps[t] {
+			target := s.Steps[t][i]
+			if target < 0 || int(target) >= arr.NumCells() {
+				return Program{}, fmt.Errorf("controller: cell %d out of range at t=%d", target, t)
+			}
+			if seen[target] {
+				return Program{}, fmt.Errorf("controller: electrode %d double-driven at t=%d", target, t)
+			}
+			seen[target] = true
+			frame.Active = append(frame.Active, target)
+		}
+		sortCells(frame.Active)
+		prog.Frames = append(prog.Frames, frame)
+	}
+	return prog, nil
+}
+
+func sortCells(cells []layout.CellID) {
+	for i := 1; i < len(cells); i++ {
+		for j := i; j > 0 && cells[j] < cells[j-1]; j-- {
+			cells[j], cells[j-1] = cells[j-1], cells[j]
+		}
+	}
+}
+
+// Validate checks a program against device physics and array structure:
+// the drive voltage must exceed the actuation threshold, and no frame may
+// drive two adjacent electrodes (which would stretch a droplet between
+// cells — the electrode-short failure mode induced deliberately).
+func (p Program) Validate(arr *layout.Array, params electrowetting.Params) error {
+	if p.Voltage <= params.ThresholdVoltage() {
+		return fmt.Errorf("controller: drive voltage %.1f V below actuation threshold %.1f V",
+			p.Voltage, params.ThresholdVoltage())
+	}
+	for _, f := range p.Frames {
+		on := map[layout.CellID]bool{}
+		for _, id := range f.Active {
+			on[id] = true
+		}
+		for _, id := range f.Active {
+			for _, nb := range arr.Neighbors(id) {
+				if on[nb] {
+					return fmt.Errorf("controller: frame %d drives adjacent electrodes %d and %d",
+						f.Cycle, id, nb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Duration returns the program's wall-clock duration in seconds at the
+// given device parameters (cycles × per-cell transport time).
+func (p Program) Duration(params electrowetting.Params) (float64, error) {
+	step, err := params.TransportTime(p.Voltage)
+	if err != nil {
+		return 0, err
+	}
+	return step * float64(len(p.Frames)), nil
+}

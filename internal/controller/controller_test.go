@@ -1,0 +1,208 @@
+package controller
+
+import (
+	"testing"
+
+	"dmfb/internal/electrowetting"
+	"dmfb/internal/layout"
+	"dmfb/internal/router"
+)
+
+func buildArray(t testing.TB) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func straightPath(t *testing.T, arr *layout.Array, n int) []layout.CellID {
+	t.Helper()
+	path, err := router.ShortestPath(arr, 0, layout.CellID(n), router.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompilePathFrames(t *testing.T) {
+	arr := buildArray(t)
+	path := straightPath(t, arr, 40)
+	prog, err := CompilePath(arr, path, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One frame per move plus a terminal hold.
+	if len(prog.Frames) != len(path) {
+		t.Errorf("%d frames for %d-cell path", len(prog.Frames), len(path))
+	}
+	for i, f := range prog.Frames {
+		if f.Cycle != i {
+			t.Errorf("frame %d has cycle %d", i, f.Cycle)
+		}
+		if len(f.Active) != 1 {
+			t.Errorf("single-droplet frame drives %d electrodes", len(f.Active))
+		}
+	}
+	// Frame k drives path[k+1] (the move target); last frame holds the end.
+	for i := 0; i < len(path)-1; i++ {
+		if prog.Frames[i].Active[0] != path[i+1] {
+			t.Errorf("frame %d drives %d, want %d", i, prog.Frames[i].Active[0], path[i+1])
+		}
+	}
+	if last := prog.Frames[len(prog.Frames)-1].Active[0]; last != path[len(path)-1] {
+		t.Errorf("terminal frame drives %d", last)
+	}
+}
+
+func TestCompilePathValidation(t *testing.T) {
+	arr := buildArray(t)
+	if _, err := CompilePath(arr, nil, 60); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := CompilePath(arr, []layout.CellID{0, layout.CellID(arr.NumCells() - 1)}, 60); err == nil {
+		t.Error("jumping path accepted")
+	}
+	if _, err := CompilePath(arr, []layout.CellID{0}, 0); err == nil {
+		t.Error("zero voltage accepted")
+	}
+	if _, err := CompilePath(arr, []layout.CellID{9999}, 60); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+}
+
+func TestProgramValidateThreshold(t *testing.T) {
+	arr := buildArray(t)
+	params := electrowetting.Default()
+	path := straightPath(t, arr, 20)
+	prog, err := CompilePath(arr, path, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(arr, params); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	weak, err := CompilePath(arr, path, params.ThresholdVoltage()*0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := weak.Validate(arr, params); err == nil {
+		t.Error("sub-threshold program accepted")
+	}
+}
+
+func TestProgramValidateAdjacentElectrodes(t *testing.T) {
+	arr := buildArray(t)
+	params := electrowetting.Default()
+	nb := arr.Neighbors(50)[0]
+	prog := Program{
+		Voltage: 60,
+		Frames:  []Frame{{Cycle: 0, Active: []layout.CellID{50, nb}, Voltage: 60}},
+	}
+	if err := prog.Validate(arr, params); err == nil {
+		t.Error("adjacent driven electrodes accepted")
+	}
+}
+
+func TestCompileScheduleMultiDroplet(t *testing.T) {
+	arr := buildArray(t)
+	var src1, dst1, src2, dst2 layout.CellID = -1, -1, -1, -1
+	for i := 0; i < arr.NumCells(); i++ {
+		pos := arr.Cell(layout.CellID(i)).Pos
+		switch {
+		case pos.Q == 0 && pos.R == 0:
+			src1 = layout.CellID(i)
+		case pos.Q == 11 && pos.R == 0:
+			dst1 = layout.CellID(i)
+		case pos.Q == 0 && pos.R == 11:
+			src2 = layout.CellID(i)
+		case pos.Q == 11 && pos.R == 11:
+			dst2 = layout.CellID(i)
+		}
+	}
+	sched, err := router.MultiRoute(arr, []router.Request{
+		{Name: "a", Src: src1, Dst: dst1},
+		{Name: "b", Src: src2, Dst: dst2},
+	}, router.Constraints{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileSchedule(arr, sched, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Frames) != sched.Makespan() {
+		t.Errorf("%d frames for makespan %d", len(prog.Frames), sched.Makespan())
+	}
+	if err := prog.Validate(arr, electrowetting.Default()); err != nil {
+		t.Errorf("compiled schedule invalid: %v", err)
+	}
+	st := prog.Stats(electrowetting.Default())
+	if st.PeakSimultaneous != 2 {
+		t.Errorf("peak simultaneous %d, want 2", st.PeakSimultaneous)
+	}
+	if st.Activations != 2*len(prog.Frames) {
+		t.Errorf("activations %d", st.Activations)
+	}
+	if st.SwitchingEnergy <= 0 {
+		t.Error("non-positive switching energy")
+	}
+}
+
+func TestCompileScheduleValidation(t *testing.T) {
+	arr := buildArray(t)
+	if _, err := CompileSchedule(arr, router.Schedule{}, 60); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	bad := router.Schedule{
+		Requests: []router.Request{{Name: "a"}, {Name: "b"}},
+		Steps:    [][]layout.CellID{{0, 5}, {1, 1}}, // both driven to cell 1
+	}
+	if _, err := CompileSchedule(arr, bad, 60); err == nil {
+		t.Error("double-driven electrode accepted")
+	}
+}
+
+func TestProgramDuration(t *testing.T) {
+	arr := buildArray(t)
+	params := electrowetting.Default()
+	path := straightPath(t, arr, 30)
+	prog, err := CompilePath(arr, path, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := prog.Duration(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0075 * float64(len(prog.Frames)) // 7.5 ms per cell at 90 V
+	if d < want*0.99 || d > want*1.01 {
+		t.Errorf("duration %v, want ≈ %v", d, want)
+	}
+	weak, _ := CompilePath(arr, path, 5)
+	if _, err := weak.Duration(params); err == nil {
+		t.Error("sub-threshold duration accepted")
+	}
+}
+
+func TestStatsEnergyScalesWithVoltageSquared(t *testing.T) {
+	arr := buildArray(t)
+	params := electrowetting.Default()
+	path := straightPath(t, arr, 25)
+	p60, err := CompilePath(arr, path, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p90, err := CompilePath(arr, path, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e60 := p60.Stats(params).SwitchingEnergy
+	e90 := p90.Stats(params).SwitchingEnergy
+	ratio := e90 / e60
+	want := (90.0 * 90.0) / (60.0 * 60.0)
+	if ratio < want*0.999 || ratio > want*1.001 {
+		t.Errorf("energy ratio %v, want %v", ratio, want)
+	}
+}

@@ -1,0 +1,393 @@
+// Package defects models manufacturing defects of digital microfluidic
+// biochips and injects them into defect-tolerant arrays for yield analysis.
+//
+// Following the paper (§4) and the analog fault-classification tradition it
+// cites, faults are either catastrophic (dielectric breakdown, a short
+// between adjacent electrodes, an open in the electrode's control-line
+// connection — the cell stops transporting droplets entirely) or parametric
+// (geometry deviations: insulator thickness, electrode length, plate gap —
+// the cell degrades and counts as faulty only when the deviation exceeds the
+// performance tolerance).
+//
+// The yield analysis assumption of the paper is implemented directly: every
+// cell, primary or spare, fails independently with the same probability
+// q = 1 − p (Bernoulli mode), or exactly m distinct cells fail (fixed-count
+// mode, used by the case-study experiment of Fig. 13).
+package defects
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dmfb/internal/layout"
+)
+
+// Class separates catastrophic (hard) from parametric (soft) faults.
+type Class uint8
+
+const (
+	// Catastrophic faults cause complete malfunction of the cell.
+	Catastrophic Class = iota
+	// Parametric faults degrade performance; they make a cell faulty only
+	// when the deviation exceeds the system tolerance.
+	Parametric
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == Parametric {
+		return "parametric"
+	}
+	return "catastrophic"
+}
+
+// Kind enumerates the concrete manufacturing defects from the paper.
+type Kind uint8
+
+const (
+	// DielectricBreakdown shorts droplet and electrode; the droplet
+	// electrolyzes and cannot move further.
+	DielectricBreakdown Kind = iota
+	// ElectrodeShort merges two adjacent electrodes into one long electrode;
+	// droplets resting on it cannot overlap a neighbor, so actuation fails
+	// on both cells.
+	ElectrodeShort
+	// OpenConnection breaks the metal line between electrode and control
+	// source; the electrode can never be activated.
+	OpenConnection
+	// InsulatorThicknessDeviation is a parametric deviation of the Parylene C
+	// insulator thickness (nominal ~800 nm).
+	InsulatorThicknessDeviation
+	// ElectrodeLengthDeviation is a parametric deviation of the electrode
+	// pitch.
+	ElectrodeLengthDeviation
+	// PlateGapDeviation is a parametric deviation of the spacing between the
+	// top and bottom glass plates.
+	PlateGapDeviation
+)
+
+// String names the defect kind.
+func (k Kind) String() string {
+	switch k {
+	case DielectricBreakdown:
+		return "dielectric-breakdown"
+	case ElectrodeShort:
+		return "electrode-short"
+	case OpenConnection:
+		return "open-connection"
+	case InsulatorThicknessDeviation:
+		return "insulator-thickness-deviation"
+	case ElectrodeLengthDeviation:
+		return "electrode-length-deviation"
+	case PlateGapDeviation:
+		return "plate-gap-deviation"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Class returns the fault class the defect kind belongs to.
+func (k Kind) Class() Class {
+	switch k {
+	case InsulatorThicknessDeviation, ElectrodeLengthDeviation, PlateGapDeviation:
+		return Parametric
+	default:
+		return Catastrophic
+	}
+}
+
+// CatastrophicKinds lists the hard-fault kinds.
+func CatastrophicKinds() []Kind {
+	return []Kind{DielectricBreakdown, ElectrodeShort, OpenConnection}
+}
+
+// ParametricKinds lists the soft-fault kinds.
+func ParametricKinds() []Kind {
+	return []Kind{InsulatorThicknessDeviation, ElectrodeLengthDeviation, PlateGapDeviation}
+}
+
+// Defect is one concrete manufacturing defect instance.
+type Defect struct {
+	Kind Kind
+	// Cell is the afflicted cell.
+	Cell layout.CellID
+	// Other is the second cell of an ElectrodeShort (NoCell otherwise).
+	Other layout.CellID
+	// Deviation is the relative parameter deviation of a parametric defect
+	// (e.g. +0.30 = 30% over nominal); zero for catastrophic defects.
+	Deviation float64
+}
+
+// String describes the defect.
+func (d Defect) String() string {
+	if d.Kind == ElectrodeShort {
+		return fmt.Sprintf("%s between cells %d and %d", d.Kind, d.Cell, d.Other)
+	}
+	if d.Kind.Class() == Parametric {
+		return fmt.Sprintf("%s at cell %d (%.1f%%)", d.Kind, d.Cell, d.Deviation*100)
+	}
+	return fmt.Sprintf("%s at cell %d", d.Kind, d.Cell)
+}
+
+// FaultSet records which cells of an array are faulty, plus the defects that
+// made them so. The zero value is unusable; use NewFaultSet.
+type FaultSet struct {
+	faulty  []bool
+	count   int
+	defects []Defect
+}
+
+// NewFaultSet returns an empty fault set for an array with numCells cells.
+func NewFaultSet(numCells int) *FaultSet {
+	return &FaultSet{faulty: make([]bool, numCells)}
+}
+
+// NumCells returns the size of the underlying array.
+func (f *FaultSet) NumCells() int { return len(f.faulty) }
+
+// MarkFaulty marks a cell faulty. Marking twice is a no-op.
+func (f *FaultSet) MarkFaulty(id layout.CellID) {
+	if !f.faulty[id] {
+		f.faulty[id] = true
+		f.count++
+	}
+}
+
+// Clear resets every cell to fault-free and drops the defect list.
+func (f *FaultSet) Clear() {
+	for i := range f.faulty {
+		f.faulty[i] = false
+	}
+	f.count = 0
+	f.defects = f.defects[:0]
+}
+
+// IsFaulty reports whether the cell is faulty.
+func (f *FaultSet) IsFaulty(id layout.CellID) bool { return f.faulty[id] }
+
+// Count returns the number of faulty cells.
+func (f *FaultSet) Count() int { return f.count }
+
+// Defects returns the recorded defect instances (may be shorter than Count
+// when faults were injected without defect records, e.g. in the fast
+// Monte-Carlo path).
+func (f *FaultSet) Defects() []Defect { return f.defects }
+
+// AddDefect records a defect and marks its cell(s) faulty.
+func (f *FaultSet) AddDefect(d Defect) {
+	f.defects = append(f.defects, d)
+	f.MarkFaulty(d.Cell)
+	if d.Kind == ElectrodeShort && d.Other != layout.NoCell {
+		f.MarkFaulty(d.Other)
+	}
+}
+
+// FaultyCells returns the faulty cell IDs in ascending order.
+func (f *FaultSet) FaultyCells() []layout.CellID {
+	out := make([]layout.CellID, 0, f.count)
+	for i, bad := range f.faulty {
+		if bad {
+			out = append(out, layout.CellID(i))
+		}
+	}
+	return out
+}
+
+// FaultyPrimaries returns the faulty cells of the array that are primaries,
+// ascending.
+func (f *FaultSet) FaultyPrimaries(arr *layout.Array) []layout.CellID {
+	var out []layout.CellID
+	for _, id := range arr.Primaries() {
+		if f.faulty[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FaultySpares returns the faulty cells of the array that are spares,
+// ascending.
+func (f *FaultSet) FaultySpares(arr *layout.Array) []layout.CellID {
+	var out []layout.CellID
+	for _, id := range arr.Spares() {
+		if f.faulty[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Injector draws random fault sets. It is not safe for concurrent use; give
+// each worker its own Injector (see stats.SeedStream).
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector with a deterministic PRNG stream.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bernoulli marks every cell of the array faulty independently with
+// probability q = 1−p, the paper's yield-analysis assumption. It reuses dst
+// when non-nil (clearing it first) to avoid allocation in Monte-Carlo loops.
+func (in *Injector) Bernoulli(arr *layout.Array, p float64, dst *FaultSet) *FaultSet {
+	dst = in.prepare(arr, dst)
+	q := 1 - p
+	if q <= 0 {
+		return dst
+	}
+	for i := 0; i < arr.NumCells(); i++ {
+		if in.rng.Float64() < q {
+			dst.MarkFaulty(layout.CellID(i))
+		}
+	}
+	return dst
+}
+
+// Domain selects which cells fixed-count injection may hit.
+type Domain uint8
+
+const (
+	// AllCells lets faults strike primaries and spares alike (the paper's
+	// stated assumption: "the cells in the microfluidic array, including
+	// both primary and spare cells, are randomly chosen to fail").
+	AllCells Domain = iota
+	// PrimariesOnly restricts faults to primary cells, an ablation policy
+	// for the case-study experiment.
+	PrimariesOnly
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	if d == PrimariesOnly {
+		return "primaries-only"
+	}
+	return "all-cells"
+}
+
+// FixedCount marks exactly m distinct cells faulty, drawn uniformly from the
+// domain. It returns an error if m exceeds the domain size.
+func (in *Injector) FixedCount(arr *layout.Array, m int, domain Domain, dst *FaultSet) (*FaultSet, error) {
+	dst = in.prepare(arr, dst)
+	var pool []layout.CellID
+	switch domain {
+	case AllCells:
+		pool = make([]layout.CellID, arr.NumCells())
+		for i := range pool {
+			pool[i] = layout.CellID(i)
+		}
+	case PrimariesOnly:
+		pool = append([]layout.CellID(nil), arr.Primaries()...)
+	default:
+		return nil, fmt.Errorf("defects: unknown domain %d", domain)
+	}
+	if m < 0 || m > len(pool) {
+		return nil, fmt.Errorf("defects: cannot fail %d of %d cells", m, len(pool))
+	}
+	// Partial Fisher-Yates: draw m distinct cells.
+	for i := 0; i < m; i++ {
+		j := i + in.rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		dst.MarkFaulty(pool[i])
+	}
+	return dst, nil
+}
+
+// CatalogParams tunes defect-catalog generation.
+type CatalogParams struct {
+	// Lambda is the expected number of defects on the array.
+	Lambda float64
+	// ParametricShare is the fraction of defects that are parametric.
+	ParametricShare float64
+	// Tolerance is the relative deviation above which a parametric defect
+	// makes its cell faulty (e.g. 0.15 = 15%).
+	Tolerance float64
+	// DeviationSigma is the standard deviation of parametric deviations.
+	DeviationSigma float64
+}
+
+// DefaultCatalogParams returns parameters producing a realistic mixed-defect
+// population: mostly catastrophic spot defects with a parametric tail.
+func DefaultCatalogParams(lambda float64) CatalogParams {
+	return CatalogParams{
+		Lambda:          lambda,
+		ParametricShare: 0.35,
+		Tolerance:       0.15,
+		DeviationSigma:  0.12,
+	}
+}
+
+// Catalog draws a full defect catalog: a Poisson(λ) number of spot defects,
+// each assigned a kind, location, and (for parametric defects) a Gaussian
+// deviation checked against the tolerance. Cells become faulty for every
+// catastrophic defect and for parametric defects beyond tolerance; a
+// sub-tolerance parametric defect is recorded but leaves the cell usable.
+func (in *Injector) Catalog(arr *layout.Array, params CatalogParams) (*FaultSet, []Defect) {
+	fs := NewFaultSet(arr.NumCells())
+	n := in.poisson(params.Lambda)
+	var subTolerance []Defect
+	for i := 0; i < n; i++ {
+		cell := layout.CellID(in.rng.Intn(arr.NumCells()))
+		if in.rng.Float64() < params.ParametricShare {
+			kinds := ParametricKinds()
+			d := Defect{
+				Kind:      kinds[in.rng.Intn(len(kinds))],
+				Cell:      cell,
+				Other:     layout.NoCell,
+				Deviation: in.rng.NormFloat64() * params.DeviationSigma,
+			}
+			if abs(d.Deviation) > params.Tolerance {
+				fs.AddDefect(d)
+			} else {
+				subTolerance = append(subTolerance, d)
+			}
+			continue
+		}
+		kinds := CatastrophicKinds()
+		d := Defect{Kind: kinds[in.rng.Intn(len(kinds))], Cell: cell, Other: layout.NoCell}
+		if d.Kind == ElectrodeShort {
+			nbrs := arr.Neighbors(cell)
+			if len(nbrs) > 0 {
+				d.Other = nbrs[in.rng.Intn(len(nbrs))]
+			}
+		}
+		fs.AddDefect(d)
+	}
+	sort.Slice(subTolerance, func(i, j int) bool { return subTolerance[i].Cell < subTolerance[j].Cell })
+	return fs, subTolerance
+}
+
+// poisson draws from Poisson(lambda) by Knuth's method (adequate for the
+// small λ used in defect catalogs).
+func (in *Injector) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= in.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func (in *Injector) prepare(arr *layout.Array, dst *FaultSet) *FaultSet {
+	if dst == nil || dst.NumCells() != arr.NumCells() {
+		return NewFaultSet(arr.NumCells())
+	}
+	dst.Clear()
+	return dst
+}

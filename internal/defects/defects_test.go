@@ -1,0 +1,346 @@
+package defects
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dmfb/internal/layout"
+)
+
+func testArray(t *testing.T) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestKindClassification(t *testing.T) {
+	for _, k := range CatastrophicKinds() {
+		if k.Class() != Catastrophic {
+			t.Errorf("%v classified %v", k, k.Class())
+		}
+	}
+	for _, k := range ParametricKinds() {
+		if k.Class() != Parametric {
+			t.Errorf("%v classified %v", k, k.Class())
+		}
+	}
+	if len(CatastrophicKinds()) != 3 || len(ParametricKinds()) != 3 {
+		t.Error("paper lists three defects per class")
+	}
+}
+
+func TestClassAndKindStrings(t *testing.T) {
+	if Catastrophic.String() != "catastrophic" || Parametric.String() != "parametric" {
+		t.Error("Class.String wrong")
+	}
+	for _, k := range append(CatastrophicKinds(), ParametricKinds()...) {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(200).String(), "kind(") {
+		t.Error("unknown kind should fall back to numeric form")
+	}
+}
+
+func TestDefectString(t *testing.T) {
+	d := Defect{Kind: ElectrodeShort, Cell: 3, Other: 4}
+	if !strings.Contains(d.String(), "3") || !strings.Contains(d.String(), "4") {
+		t.Errorf("short defect string %q lacks cells", d)
+	}
+	p := Defect{Kind: PlateGapDeviation, Cell: 7, Other: layout.NoCell, Deviation: 0.21}
+	if !strings.Contains(p.String(), "21.0%") {
+		t.Errorf("parametric defect string %q lacks deviation", p)
+	}
+	c := Defect{Kind: OpenConnection, Cell: 9, Other: layout.NoCell}
+	if !strings.Contains(c.String(), "cell 9") {
+		t.Errorf("catastrophic defect string %q", c)
+	}
+}
+
+func TestFaultSetBasics(t *testing.T) {
+	fs := NewFaultSet(10)
+	if fs.Count() != 0 || fs.NumCells() != 10 {
+		t.Fatal("fresh fault set not empty")
+	}
+	fs.MarkFaulty(3)
+	fs.MarkFaulty(3) // idempotent
+	fs.MarkFaulty(7)
+	if fs.Count() != 2 {
+		t.Errorf("Count = %d, want 2", fs.Count())
+	}
+	if !fs.IsFaulty(3) || fs.IsFaulty(4) {
+		t.Error("IsFaulty wrong")
+	}
+	cells := fs.FaultyCells()
+	if len(cells) != 2 || cells[0] != 3 || cells[1] != 7 {
+		t.Errorf("FaultyCells = %v", cells)
+	}
+	fs.Clear()
+	if fs.Count() != 0 || fs.IsFaulty(3) || len(fs.Defects()) != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestAddDefectShortMarksBothCells(t *testing.T) {
+	fs := NewFaultSet(10)
+	fs.AddDefect(Defect{Kind: ElectrodeShort, Cell: 2, Other: 5})
+	if !fs.IsFaulty(2) || !fs.IsFaulty(5) || fs.Count() != 2 {
+		t.Error("electrode short must fail both electrodes")
+	}
+	fs.AddDefect(Defect{Kind: OpenConnection, Cell: 8, Other: layout.NoCell})
+	if fs.Count() != 3 || len(fs.Defects()) != 2 {
+		t.Error("defect bookkeeping wrong")
+	}
+}
+
+func TestFaultyPartitionByRole(t *testing.T) {
+	arr := testArray(t)
+	fs := NewFaultSet(arr.NumCells())
+	prim := arr.Primaries()[0]
+	spare := arr.Spares()[0]
+	fs.MarkFaulty(prim)
+	fs.MarkFaulty(spare)
+	fp := fs.FaultyPrimaries(arr)
+	fsp := fs.FaultySpares(arr)
+	if len(fp) != 1 || fp[0] != prim {
+		t.Errorf("FaultyPrimaries = %v", fp)
+	}
+	if len(fsp) != 1 || fsp[0] != spare {
+		t.Errorf("FaultySpares = %v", fsp)
+	}
+}
+
+func TestBernoulliRateApproximation(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(1234)
+	const (
+		p      = 0.9
+		rounds = 400
+	)
+	total := 0
+	var fs *FaultSet
+	for i := 0; i < rounds; i++ {
+		fs = in.Bernoulli(arr, p, fs)
+		total += fs.Count()
+	}
+	rate := float64(total) / float64(rounds*arr.NumCells())
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("empirical failure rate %.4f, want ≈ 0.10", rate)
+	}
+}
+
+func TestBernoulliEdgeProbabilities(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(9)
+	fs := in.Bernoulli(arr, 1.0, nil)
+	if fs.Count() != 0 {
+		t.Errorf("p=1: %d faults", fs.Count())
+	}
+	fs = in.Bernoulli(arr, 0.0, fs)
+	if fs.Count() != arr.NumCells() {
+		t.Errorf("p=0: %d faults, want %d", fs.Count(), arr.NumCells())
+	}
+}
+
+func TestBernoulliReusesDst(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(5)
+	fs1 := in.Bernoulli(arr, 0.9, nil)
+	fs2 := in.Bernoulli(arr, 0.9, fs1)
+	if fs1 != fs2 {
+		t.Error("Bernoulli should reuse matching dst")
+	}
+	wrong := NewFaultSet(3)
+	fs3 := in.Bernoulli(arr, 0.9, wrong)
+	if fs3 == wrong {
+		t.Error("Bernoulli must replace mismatched dst")
+	}
+}
+
+func TestBernoulliDeterministicPerSeed(t *testing.T) {
+	arr := testArray(t)
+	a := NewInjector(77).Bernoulli(arr, 0.9, nil)
+	b := NewInjector(77).Bernoulli(arr, 0.9, nil)
+	for i := 0; i < arr.NumCells(); i++ {
+		if a.IsFaulty(layout.CellID(i)) != b.IsFaulty(layout.CellID(i)) {
+			t.Fatal("same seed produced different fault sets")
+		}
+	}
+}
+
+func TestFixedCountExact(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(31)
+	for _, m := range []int{0, 1, 10, 35, arr.NumCells()} {
+		fs, err := in.FixedCount(arr, m, AllCells, nil)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if fs.Count() != m {
+			t.Errorf("m=%d: Count = %d", m, fs.Count())
+		}
+	}
+}
+
+func TestFixedCountPrimariesOnly(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(8)
+	fs, err := in.FixedCount(arr, 20, PrimariesOnly, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.FaultySpares(arr)) != 0 {
+		t.Error("primaries-only domain hit a spare")
+	}
+	if len(fs.FaultyPrimaries(arr)) != 20 {
+		t.Errorf("faulty primaries %d, want 20", len(fs.FaultyPrimaries(arr)))
+	}
+}
+
+func TestFixedCountErrors(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(1)
+	if _, err := in.FixedCount(arr, -1, AllCells, nil); err == nil {
+		t.Error("negative m should fail")
+	}
+	if _, err := in.FixedCount(arr, arr.NumCells()+1, AllCells, nil); err == nil {
+		t.Error("m > cells should fail")
+	}
+	if _, err := in.FixedCount(arr, 1, Domain(9), nil); err == nil {
+		t.Error("unknown domain should fail")
+	}
+}
+
+func TestFixedCountUniformity(t *testing.T) {
+	// Every cell should be hit roughly equally often.
+	arr := testArray(t)
+	in := NewInjector(2024)
+	hits := make([]int, arr.NumCells())
+	const rounds = 3000
+	var fs *FaultSet
+	var err error
+	for i := 0; i < rounds; i++ {
+		fs, err = in.FixedCount(arr, 10, AllCells, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range fs.FaultyCells() {
+			hits[id]++
+		}
+	}
+	expected := float64(rounds*10) / float64(arr.NumCells())
+	for id, h := range hits {
+		if math.Abs(float64(h)-expected) > expected*0.35 {
+			t.Errorf("cell %d hit %d times, expected ≈ %.0f", id, h, expected)
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if AllCells.String() != "all-cells" || PrimariesOnly.String() != "primaries-only" {
+		t.Error("Domain.String wrong")
+	}
+}
+
+func TestCatalogPopulation(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(606)
+	params := DefaultCatalogParams(12)
+	totalDefects := 0
+	totalSub := 0
+	for i := 0; i < 50; i++ {
+		fs, sub := in.Catalog(arr, params)
+		totalDefects += len(fs.Defects())
+		totalSub += len(sub)
+		for _, d := range fs.Defects() {
+			if d.Kind.Class() == Parametric && abs(d.Deviation) <= params.Tolerance {
+				t.Errorf("sub-tolerance parametric defect %v marked faulty", d)
+			}
+			if d.Kind == ElectrodeShort && d.Other != layout.NoCell {
+				// The short's partner must be an actual neighbor.
+				found := false
+				for _, nb := range arr.Neighbors(d.Cell) {
+					if nb == d.Other {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("short partner %d not adjacent to %d", d.Other, d.Cell)
+				}
+			}
+		}
+		for _, d := range sub {
+			if d.Kind.Class() != Parametric {
+				t.Errorf("catastrophic defect %v in sub-tolerance list", d)
+			}
+			if fs.IsFaulty(d.Cell) {
+				// A cell may be faulty from another defect; only flag when
+				// the sub-tolerance defect is the sole defect on the cell.
+				solo := true
+				for _, dd := range fs.Defects() {
+					if dd.Cell == d.Cell || (dd.Kind == ElectrodeShort && dd.Other == d.Cell) {
+						solo = false
+						break
+					}
+				}
+				if solo {
+					t.Errorf("cell %d faulty with only sub-tolerance defect", d.Cell)
+				}
+			}
+		}
+	}
+	// Poisson(12) over 50 rounds: expect about 600 defect draws in total
+	// (faulty + sub-tolerance). Allow wide slack.
+	got := totalDefects + totalSub
+	if got < 400 || got > 800 {
+		t.Errorf("defect volume %d far from expectation 600", got)
+	}
+	if totalSub == 0 {
+		t.Error("expected some sub-tolerance parametric defects")
+	}
+}
+
+func TestCatalogZeroLambda(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(3)
+	fs, sub := in.Catalog(arr, DefaultCatalogParams(0))
+	if fs.Count() != 0 || len(sub) != 0 {
+		t.Error("lambda=0 must produce no defects")
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := NewInjector(1)
+	var fs *FaultSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs = in.Bernoulli(arr, 0.95, fs)
+	}
+}
+
+func BenchmarkFixedCount35(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 252)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := NewInjector(1)
+	var fs *FaultSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		fs, err = in.FixedCount(arr, 35, AllCells, fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package droplet models the nanoliter droplets manipulated by a digital
+// microfluidic biochip: volume, chemical contents, and the merge/split
+// arithmetic used by mixing and dispensing operations. Position and motion
+// belong to the fluidics simulator; this package is pure chemistry.
+package droplet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Species names a chemical species carried in a droplet.
+type Species string
+
+// Species appearing in the multiplexed in-vitro diagnostics assays
+// (Trinder's reaction, paper §7).
+const (
+	Glucose          Species = "glucose"
+	Lactate          Species = "lactate"
+	Glutamate        Species = "glutamate"
+	Pyruvate         Species = "pyruvate"
+	GlucoseOxidase   Species = "glucose-oxidase"
+	LactateOxidase   Species = "lactate-oxidase"
+	GlutamateOxidase Species = "glutamate-oxidase"
+	PyruvateOxidase  Species = "pyruvate-oxidase"
+	Peroxidase       Species = "peroxidase"
+	FourAAP          Species = "4-aap"        // 4-amino antipyrine
+	TOPS             Species = "tops"         // N-ethyl-N-sulfopropyl-m-toluidine
+	Quinoneimine     Species = "quinoneimine" // violet-colored product, 545 nm
+)
+
+// Mixture maps species to molar concentration (mol/L).
+type Mixture map[Species]float64
+
+// Clone returns an independent copy of the mixture.
+func (m Mixture) Clone() Mixture {
+	out := make(Mixture, len(m))
+	for s, c := range m {
+		out[s] = c
+	}
+	return out
+}
+
+// Concentration returns the concentration of s (0 when absent).
+func (m Mixture) Concentration(s Species) float64 { return m[s] }
+
+// Species returns the species present (concentration > 0), sorted by name.
+func (m Mixture) Species() []Species {
+	var out []Species
+	for s, c := range m {
+		if c > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String lists the mixture contents deterministically.
+func (m Mixture) String() string {
+	sp := m.Species()
+	parts := make([]string, 0, len(sp))
+	for _, s := range sp {
+		parts = append(parts, fmt.Sprintf("%s=%.3g", s, m[s]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Droplet is a discrete liquid packet.
+type Droplet struct {
+	// Volume in nanoliters.
+	Volume float64
+	// Contents holds the dissolved species.
+	Contents Mixture
+	// Mixedness in [0,1] tracks homogenization after a merge: 0 = freshly
+	// merged (layered), 1 = fully mixed. Transport steps raise it (droplets
+	// mix by being shuttled across electrodes).
+	Mixedness float64
+}
+
+// New returns a fully mixed droplet of the given volume and contents.
+func New(volumeNL float64, contents Mixture) (Droplet, error) {
+	if volumeNL <= 0 {
+		return Droplet{}, fmt.Errorf("droplet: volume %g nL must be positive", volumeNL)
+	}
+	for s, c := range contents {
+		if c < 0 {
+			return Droplet{}, fmt.Errorf("droplet: negative concentration %g for %s", c, s)
+		}
+	}
+	return Droplet{Volume: volumeNL, Contents: contents.Clone(), Mixedness: 1}, nil
+}
+
+// Merge combines two droplets: volumes add, concentrations average weighted
+// by volume, and the result starts unmixed (Mixedness 0).
+func Merge(a, b Droplet) Droplet {
+	total := a.Volume + b.Volume
+	contents := make(Mixture)
+	for s, c := range a.Contents {
+		contents[s] += c * a.Volume / total
+	}
+	for s, c := range b.Contents {
+		contents[s] += c * b.Volume / total
+	}
+	return Droplet{Volume: total, Contents: contents, Mixedness: 0}
+}
+
+// Split divides a droplet into two equal halves with identical contents. It
+// returns an error when the droplet is not yet homogenized: splitting an
+// unmixed droplet would give unpredictable halves.
+func Split(d Droplet) (Droplet, Droplet, error) {
+	if d.Mixedness < 1 {
+		return Droplet{}, Droplet{}, fmt.Errorf("droplet: cannot split at mixedness %.2f < 1", d.Mixedness)
+	}
+	half := Droplet{Volume: d.Volume / 2, Contents: d.Contents.Clone(), Mixedness: 1}
+	return half, half.CloneDroplet(), nil
+}
+
+// CloneDroplet returns a deep copy.
+func (d Droplet) CloneDroplet() Droplet {
+	d.Contents = d.Contents.Clone()
+	return d
+}
+
+// AdvanceMixing raises Mixedness by delta, clamped to 1.
+func (d *Droplet) AdvanceMixing(delta float64) {
+	d.Mixedness += delta
+	if d.Mixedness > 1 {
+		d.Mixedness = 1
+	}
+}
+
+// Mixed reports whether the droplet is homogenized.
+func (d Droplet) Mixed() bool { return d.Mixedness >= 1 }
+
+// String summarizes the droplet.
+func (d Droplet) String() string {
+	return fmt.Sprintf("%.1f nL %s (mixed %.0f%%)", d.Volume, d.Contents, d.Mixedness*100)
+}

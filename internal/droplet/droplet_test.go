@@ -1,0 +1,146 @@
+package droplet
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("zero volume accepted")
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative volume accepted")
+	}
+	if _, err := New(1, Mixture{Glucose: -0.1}); err == nil {
+		t.Error("negative concentration accepted")
+	}
+	d, err := New(1.5, Mixture{Glucose: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Mixed() {
+		t.Error("fresh droplet should be mixed")
+	}
+}
+
+func TestNewClonesContents(t *testing.T) {
+	m := Mixture{Glucose: 1}
+	d, err := New(1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m[Glucose] = 99
+	if d.Contents[Glucose] != 1 {
+		t.Error("droplet shares caller's mixture")
+	}
+}
+
+func TestMergeConservesMassAndVolume(t *testing.T) {
+	f := func(v1, v2, c1, c2 uint8) bool {
+		vol1 := float64(v1)/50 + 0.5
+		vol2 := float64(v2)/50 + 0.5
+		conc1 := float64(c1) / 100
+		conc2 := float64(c2) / 100
+		a, _ := New(vol1, Mixture{Glucose: conc1})
+		b, _ := New(vol2, Mixture{Glucose: conc2, Peroxidase: 0.001})
+		m := Merge(a, b)
+		if math.Abs(m.Volume-(vol1+vol2)) > 1e-12 {
+			return false
+		}
+		// Moles of glucose conserved.
+		moles := conc1*vol1 + conc2*vol2
+		if math.Abs(m.Contents[Glucose]*m.Volume-moles) > 1e-9 {
+			return false
+		}
+		// Species only in b are diluted, not lost.
+		wantPer := 0.001 * vol2 / (vol1 + vol2)
+		return math.Abs(m.Contents[Peroxidase]-wantPer) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeStartsUnmixed(t *testing.T) {
+	a, _ := New(1, Mixture{Glucose: 1})
+	b, _ := New(1, Mixture{Peroxidase: 1})
+	m := Merge(a, b)
+	if m.Mixed() || m.Mixedness != 0 {
+		t.Error("merged droplet must start unmixed")
+	}
+}
+
+func TestAdvanceMixingClamps(t *testing.T) {
+	a, _ := New(1, Mixture{Glucose: 1})
+	b, _ := New(1, nil)
+	m := Merge(a, b)
+	for i := 0; i < 100; i++ {
+		m.AdvanceMixing(0.1)
+	}
+	if m.Mixedness != 1 {
+		t.Errorf("mixedness %v, want clamp at 1", m.Mixedness)
+	}
+}
+
+func TestSplitRequiresMixed(t *testing.T) {
+	a, _ := New(1, Mixture{Glucose: 1})
+	b, _ := New(1, nil)
+	m := Merge(a, b)
+	if _, _, err := Split(m); err == nil {
+		t.Error("splitting unmixed droplet accepted")
+	}
+	m.AdvanceMixing(1)
+	h1, h2, err := Split(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1.Volume-m.Volume/2) > 1e-12 || math.Abs(h2.Volume-m.Volume/2) > 1e-12 {
+		t.Error("split halves unequal")
+	}
+	if h1.Contents[Glucose] != m.Contents[Glucose] {
+		t.Error("split changed concentration")
+	}
+	// Halves are independent.
+	h1.Contents[Glucose] = 42
+	if h2.Contents[Glucose] == 42 {
+		t.Error("split halves share contents")
+	}
+}
+
+func TestMixtureSpeciesSortedAndPositive(t *testing.T) {
+	m := Mixture{TOPS: 0.1, Glucose: 0.2, Quinoneimine: 0}
+	sp := m.Species()
+	if len(sp) != 2 || sp[0] != Glucose || sp[1] != TOPS {
+		t.Errorf("Species() = %v", sp)
+	}
+}
+
+func TestMixtureStringDeterministic(t *testing.T) {
+	m := Mixture{TOPS: 0.1, Glucose: 0.2}
+	if m.String() != m.String() {
+		t.Error("String not deterministic")
+	}
+	if !strings.Contains(m.String(), "glucose") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestCloneDropletIndependent(t *testing.T) {
+	d, _ := New(2, Mixture{Lactate: 0.5})
+	c := d.CloneDroplet()
+	c.Contents[Lactate] = 9
+	if d.Contents[Lactate] != 0.5 {
+		t.Error("clone shares contents")
+	}
+}
+
+func TestDropletString(t *testing.T) {
+	d, _ := New(1.3, Mixture{Glucose: 0.005})
+	s := d.String()
+	if !strings.Contains(s, "nL") || !strings.Contains(s, "glucose") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,205 @@
+// Package electrowetting models droplet actuation on a digital microfluidic
+// biochip: the Lippmann–Young contact-angle response to the control voltage,
+// the actuation threshold, and the droplet transport velocity, following the
+// device physics of the paper's §3 (control voltages of 0–90 V, droplet
+// velocities up to 20 cm/s, Parylene C insulator ≈ 800 nm, Teflon AF
+// hydrophobic coating).
+//
+// The model also quantifies how the paper's parametric manufacturing defects
+// (insulator thickness, electrode length and plate gap deviations) degrade
+// transport, which is what makes such defects detectable: a deviation is a
+// parametric *fault* only when the performance change exceeds the system
+// tolerance (§4).
+package electrowetting
+
+import (
+	"fmt"
+	"math"
+
+	"dmfb/internal/defects"
+)
+
+// epsilon0 is the vacuum permittivity in F/m.
+const epsilon0 = 8.8541878128e-12
+
+// Params describes one cell's electrowetting geometry and materials.
+type Params struct {
+	// ContactAngle0 is the zero-voltage contact angle in radians (Teflon AF
+	// against silicone-oil filler: about 104 degrees).
+	ContactAngle0 float64
+	// InsulatorThickness is the dielectric thickness in meters (≈ 850 nm:
+	// 800 nm Parylene C plus 50 nm Teflon AF).
+	InsulatorThickness float64
+	// InsulatorPermittivity is the relative permittivity of the dielectric
+	// stack (Parylene C ≈ 3.1).
+	InsulatorPermittivity float64
+	// SurfaceTension is the droplet/filler interfacial tension in N/m
+	// (aqueous droplet in silicone oil ≈ 0.047).
+	SurfaceTension float64
+	// ThresholdForce is the per-unit-length actuation force (N/m) needed to
+	// overcome contact-angle hysteresis before the droplet moves.
+	ThresholdForce float64
+	// ElectrodePitch is the electrode edge length in meters (1.5 mm class
+	// devices in the cited experiments).
+	ElectrodePitch float64
+	// PlateGap is the spacing between the two glass plates in meters.
+	PlateGap float64
+	// MaxVelocity is the saturation transport velocity in m/s (0.20 = the
+	// 20 cm/s the paper reports at high voltage).
+	MaxVelocity float64
+	// RatedVoltage is the control voltage at which MaxVelocity is reached.
+	RatedVoltage float64
+	// Mobility converts net actuation force to droplet velocity,
+	// (m/s)/(N/m), lumping viscous drag from the filler medium and the
+	// plate surfaces.
+	Mobility float64
+}
+
+// Default returns nominal device parameters matching the paper's description.
+func Default() Params {
+	return Params{
+		ContactAngle0:         104 * math.Pi / 180,
+		InsulatorThickness:    850e-9,
+		InsulatorPermittivity: 3.1,
+		SurfaceTension:        0.047,
+		ThresholdForce:        0.010,
+		ElectrodePitch:        1.5e-3,
+		PlateGap:              0.3e-3,
+		MaxVelocity:           0.20,
+		RatedVoltage:          90,
+		Mobility:              1.66,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.ContactAngle0 <= 0 || p.ContactAngle0 >= math.Pi:
+		return fmt.Errorf("electrowetting: contact angle %v outside (0, pi)", p.ContactAngle0)
+	case p.InsulatorThickness <= 0:
+		return fmt.Errorf("electrowetting: non-positive insulator thickness")
+	case p.InsulatorPermittivity < 1:
+		return fmt.Errorf("electrowetting: relative permittivity %v < 1", p.InsulatorPermittivity)
+	case p.SurfaceTension <= 0:
+		return fmt.Errorf("electrowetting: non-positive surface tension")
+	case p.ThresholdForce < 0:
+		return fmt.Errorf("electrowetting: negative threshold force")
+	case p.ElectrodePitch <= 0 || p.PlateGap <= 0:
+		return fmt.Errorf("electrowetting: non-positive geometry")
+	case p.MaxVelocity <= 0 || p.RatedVoltage <= 0:
+		return fmt.Errorf("electrowetting: non-positive velocity rating")
+	case p.Mobility <= 0:
+		return fmt.Errorf("electrowetting: non-positive mobility")
+	}
+	return nil
+}
+
+// capacitance returns the insulator capacitance per unit area (F/m²).
+func (p Params) capacitance() float64 {
+	return epsilon0 * p.InsulatorPermittivity / p.InsulatorThickness
+}
+
+// ElectrowettingNumber returns the dimensionless electrowetting number
+// η = C·V²/(2γ), the voltage-induced change in cos θ.
+func (p Params) ElectrowettingNumber(v float64) float64 {
+	return p.capacitance() * v * v / (2 * p.SurfaceTension)
+}
+
+// ContactAngle returns the voltage-dependent contact angle in radians from
+// the Lippmann–Young equation cos θ(V) = cos θ0 + η(V), with saturation:
+// real devices never wet below ≈ 30 degrees.
+func (p Params) ContactAngle(v float64) float64 {
+	const saturationAngle = 30 * math.Pi / 180
+	c := math.Cos(p.ContactAngle0) + p.ElectrowettingNumber(v)
+	if c > math.Cos(saturationAngle) {
+		return saturationAngle
+	}
+	return math.Acos(c)
+}
+
+// ActuationForce returns the per-unit-length driving force (N/m) on a
+// droplet overlapping an energized electrode:
+// F = γ·(cos θ(V) − cos θ0) = C·V²/2 before saturation.
+func (p Params) ActuationForce(v float64) float64 {
+	return p.SurfaceTension * (math.Cos(p.ContactAngle(v)) - math.Cos(p.ContactAngle0))
+}
+
+// ThresholdVoltage returns the minimum control voltage that overcomes
+// contact-angle hysteresis and moves the droplet.
+func (p Params) ThresholdVoltage() float64 {
+	return math.Sqrt(2 * p.ThresholdForce / p.capacitance())
+}
+
+// Velocity returns the droplet transport velocity (m/s) at control voltage
+// v: zero below the hysteresis threshold, proportional to the net actuation
+// force (Mobility × (C·V²/2 − ThresholdForce)) above it, and saturating at
+// MaxVelocity — reached around the rated voltage on nominal devices.
+// Parametric defects reduce the capacitance term and therefore the velocity
+// at a fixed operating voltage, which is how they become observable.
+func (p Params) Velocity(v float64) float64 {
+	drive := p.capacitance()*v*v/2 - p.ThresholdForce
+	if drive <= 0 {
+		return 0
+	}
+	vel := p.Mobility * drive
+	if vel > p.MaxVelocity {
+		return p.MaxVelocity
+	}
+	return vel
+}
+
+// TransportTime returns the seconds needed to move a droplet one electrode
+// pitch at control voltage v, and an error below the actuation threshold.
+func (p Params) TransportTime(v float64) (float64, error) {
+	vel := p.Velocity(v)
+	if vel <= 0 {
+		return 0, fmt.Errorf("electrowetting: %g V below threshold %.3g V", v, p.ThresholdVoltage())
+	}
+	return p.ElectrodePitch / vel, nil
+}
+
+// WithDeviation returns the parameters after applying a relative deviation
+// to the quantity targeted by the given parametric defect kind. Catastrophic
+// kinds return the parameters unchanged (their effect is modeled as a dead
+// cell, not a degraded one).
+func (p Params) WithDeviation(kind defects.Kind, deviation float64) Params {
+	switch kind {
+	case defects.InsulatorThicknessDeviation:
+		p.InsulatorThickness *= 1 + deviation
+	case defects.ElectrodeLengthDeviation:
+		p.ElectrodePitch *= 1 + deviation
+	case defects.PlateGapDeviation:
+		p.PlateGap *= 1 + deviation
+	}
+	return p
+}
+
+// VelocityDeviation returns the relative transport-velocity change caused by
+// a parametric defect at the given operating voltage:
+// (v_defective − v_nominal)/v_nominal.
+func (p Params) VelocityDeviation(kind defects.Kind, deviation, voltage float64) float64 {
+	nominal := p.Velocity(voltage)
+	if nominal == 0 {
+		return 0
+	}
+	degraded := p.WithDeviation(kind, deviation).Velocity(voltage)
+	return (degraded - nominal) / nominal
+}
+
+// IsParametricFault reports whether a parametric deviation is a detectable
+// fault at the given operating voltage: the induced transport-time change
+// exceeds the relative tolerance (paper §4: "a parametric fault is
+// detectable only if this deviation exceeds the tolerance in system
+// performance").
+func (p Params) IsParametricFault(kind defects.Kind, deviation, voltage, tolerance float64) bool {
+	nominalT, err := p.TransportTime(voltage)
+	if err != nil {
+		return true // nominal device immobile: everything is broken
+	}
+	degradedT, err := p.WithDeviation(kind, deviation).TransportTime(voltage)
+	if err != nil {
+		return true // deviation pushed the cell below actuation threshold
+	}
+	rel := math.Abs(degradedT-nominalT) / nominalT
+	return rel > tolerance
+}

@@ -1,0 +1,185 @@
+package electrowetting
+
+import (
+	"math"
+	"testing"
+
+	"dmfb/internal/defects"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Mobility = 0 },
+		func(p *Params) { p.ContactAngle0 = 0 },
+		func(p *Params) { p.ContactAngle0 = math.Pi },
+		func(p *Params) { p.InsulatorThickness = 0 },
+		func(p *Params) { p.InsulatorPermittivity = 0.5 },
+		func(p *Params) { p.SurfaceTension = -1 },
+		func(p *Params) { p.ThresholdForce = -1 },
+		func(p *Params) { p.ElectrodePitch = 0 },
+		func(p *Params) { p.PlateGap = 0 },
+		func(p *Params) { p.MaxVelocity = 0 },
+		func(p *Params) { p.RatedVoltage = 0 },
+	}
+	for i, mutate := range mutations {
+		p := Default()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestContactAngleDecreasesWithVoltage(t *testing.T) {
+	p := Default()
+	prev := p.ContactAngle(0)
+	if math.Abs(prev-p.ContactAngle0) > 1e-12 {
+		t.Errorf("zero-voltage angle %v != theta0 %v", prev, p.ContactAngle0)
+	}
+	for v := 10.0; v <= 120; v += 10 {
+		a := p.ContactAngle(v)
+		if a > prev+1e-12 {
+			t.Errorf("contact angle increased at %v V", v)
+		}
+		prev = a
+	}
+}
+
+func TestContactAngleSaturates(t *testing.T) {
+	p := Default()
+	const saturation = 30 * math.Pi / 180
+	if a := p.ContactAngle(1000); math.Abs(a-saturation) > 1e-9 {
+		t.Errorf("angle at extreme voltage %v, want saturation %v", a, saturation)
+	}
+}
+
+func TestThresholdVoltagePlausible(t *testing.T) {
+	// The cited devices actuate in the tens of volts (control range 0-90 V).
+	vt := Default().ThresholdVoltage()
+	if vt < 10 || vt > 60 {
+		t.Errorf("threshold voltage %.1f V outside plausible 10-60 V", vt)
+	}
+}
+
+func TestVelocityCurve(t *testing.T) {
+	p := Default()
+	vt := p.ThresholdVoltage()
+	if p.Velocity(vt-1) != 0 {
+		t.Error("below threshold the droplet must not move")
+	}
+	// Paper: velocities up to 20 cm/s; rated voltage 90 V.
+	if got := p.Velocity(90); math.Abs(got-0.20) > 1e-9 {
+		t.Errorf("velocity at 90 V = %v, want 0.20 m/s", got)
+	}
+	if got := p.Velocity(200); got != p.MaxVelocity {
+		t.Errorf("velocity beyond rated voltage %v, want saturation", got)
+	}
+	prev := -1.0
+	for v := 0.0; v <= 90; v += 5 {
+		vel := p.Velocity(v)
+		if vel < prev {
+			t.Errorf("velocity decreased at %v V", v)
+		}
+		if vel < 0 || vel > p.MaxVelocity {
+			t.Errorf("velocity %v out of range at %v V", vel, v)
+		}
+		prev = vel
+	}
+}
+
+func TestTransportTime(t *testing.T) {
+	p := Default()
+	tt, err := p.TransportTime(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 mm at 0.2 m/s = 7.5 ms.
+	if math.Abs(tt-0.0075) > 1e-9 {
+		t.Errorf("transport time %v s, want 7.5 ms", tt)
+	}
+	if _, err := p.TransportTime(1); err == nil {
+		t.Error("sub-threshold voltage should error")
+	}
+}
+
+func TestWithDeviationTargetsRightParameter(t *testing.T) {
+	p := Default()
+	thicker := p.WithDeviation(defects.InsulatorThicknessDeviation, 0.5)
+	if math.Abs(thicker.InsulatorThickness-1.5*p.InsulatorThickness) > 1e-18 {
+		t.Error("insulator deviation not applied")
+	}
+	longer := p.WithDeviation(defects.ElectrodeLengthDeviation, 0.2)
+	if math.Abs(longer.ElectrodePitch-1.2*p.ElectrodePitch) > 1e-12 {
+		t.Error("pitch deviation not applied")
+	}
+	wider := p.WithDeviation(defects.PlateGapDeviation, -0.1)
+	if math.Abs(wider.PlateGap-0.9*p.PlateGap) > 1e-12 {
+		t.Error("gap deviation not applied")
+	}
+	same := p.WithDeviation(defects.OpenConnection, 0.9)
+	if same != p {
+		t.Error("catastrophic kinds must leave parameters unchanged")
+	}
+}
+
+func TestThickerInsulatorRaisesThresholdAndSlowsDroplet(t *testing.T) {
+	p := Default()
+	thick := p.WithDeviation(defects.InsulatorThicknessDeviation, 0.4)
+	if thick.ThresholdVoltage() <= p.ThresholdVoltage() {
+		t.Error("thicker insulator must raise the threshold voltage")
+	}
+	const v = 50
+	if thick.Velocity(v) >= p.Velocity(v) {
+		t.Error("thicker insulator must slow the droplet at fixed voltage")
+	}
+	dev := p.VelocityDeviation(defects.InsulatorThicknessDeviation, 0.4, v)
+	if dev >= 0 {
+		t.Errorf("velocity deviation %v should be negative", dev)
+	}
+}
+
+func TestIsParametricFaultToleranceBehavior(t *testing.T) {
+	p := Default()
+	const v = 60
+	// A tiny deviation stays within a 15% tolerance; a huge one does not.
+	if p.IsParametricFault(defects.InsulatorThicknessDeviation, 0.01, v, 0.15) {
+		t.Error("1% thickness deviation flagged at 15% tolerance")
+	}
+	if !p.IsParametricFault(defects.InsulatorThicknessDeviation, 0.8, v, 0.15) {
+		t.Error("80% thickness deviation not flagged")
+	}
+	// Deviation large enough to immobilize the droplet is always a fault.
+	if !p.IsParametricFault(defects.InsulatorThicknessDeviation, 5.0, v, 0.99) {
+		t.Error("immobilizing deviation not flagged")
+	}
+}
+
+func TestElectrowettingNumberQuadratic(t *testing.T) {
+	p := Default()
+	e1 := p.ElectrowettingNumber(30)
+	e2 := p.ElectrowettingNumber(60)
+	if math.Abs(e2-4*e1) > 1e-12 {
+		t.Errorf("electrowetting number not quadratic: %v vs %v", e1, e2)
+	}
+}
+
+func TestActuationForceNonNegativeAndMonotone(t *testing.T) {
+	p := Default()
+	prev := -1.0
+	for v := 0.0; v <= 90; v += 10 {
+		f := p.ActuationForce(v)
+		if f < -1e-15 {
+			t.Errorf("negative force at %v V", v)
+		}
+		if f < prev-1e-15 {
+			t.Errorf("force decreased at %v V", v)
+		}
+		prev = f
+	}
+}

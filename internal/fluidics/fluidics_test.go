@@ -1,0 +1,442 @@
+package fluidics
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/droplet"
+	"dmfb/internal/hexgrid"
+	"dmfb/internal/layout"
+)
+
+// testArray builds a defect-free DTMB(2,6) array for simulation tests.
+func testArray(t testing.TB) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func testDroplet(t testing.TB) droplet.Droplet {
+	t.Helper()
+	d, err := droplet.New(1.0, droplet.Mixture{droplet.Glucose: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewRejectsMismatchedFaults(t *testing.T) {
+	arr := testArray(t)
+	if _, err := New(arr, defects.NewFaultSet(3)); err == nil {
+		t.Error("mismatched fault set accepted")
+	}
+	if _, err := New(arr, nil); err != nil {
+		t.Errorf("nil faults rejected: %v", err)
+	}
+}
+
+func TestDispenseAndHold(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	id, err := sim.Dispense(arr.Primaries()[0], testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first droplet ID %d, want 1", id)
+	}
+	if err := sim.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := sim.Droplet(id)
+	if !ok || st.Cell != arr.Primaries()[0] {
+		t.Error("droplet moved while holding")
+	}
+	if sim.Cycle() != 1 {
+		t.Errorf("cycle %d, want 1", sim.Cycle())
+	}
+}
+
+func TestDispenseSpacingEnforced(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	cell := arr.Primaries()[40]
+	if _, err := sim.Dispense(cell, testDroplet(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Same cell fails.
+	if _, err := sim.Dispense(cell, testDroplet(t)); err == nil {
+		t.Error("double dispense accepted")
+	}
+	// Adjacent cell fails.
+	if _, err := sim.Dispense(arr.Neighbors(cell)[0], testDroplet(t)); err == nil {
+		t.Error("adjacent dispense accepted")
+	}
+}
+
+func TestMoveAlongNeighbors(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	start := arr.Primaries()[30]
+	id, err := sim.Dispense(start, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := arr.Neighbors(start)[0]
+	if err := sim.Step([]Command{{Droplet: id, Target: target}}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := sim.Droplet(id)
+	if st.Cell != target {
+		t.Errorf("droplet at %d, want %d", st.Cell, target)
+	}
+	// Jump to a non-adjacent cell fails.
+	far := arr.Primaries()[0]
+	if far == target || adjacent(arr, far, target) {
+		t.Skip("unexpected geometry")
+	}
+	if err := sim.Step([]Command{{Droplet: id, Target: far}}); err == nil {
+		t.Error("non-adjacent move accepted")
+	}
+}
+
+func adjacent(arr *layout.Array, a, b layout.CellID) bool {
+	for _, nb := range arr.Neighbors(a) {
+		if nb == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFaultyCellBlocksEntry(t *testing.T) {
+	arr := testArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	start := arr.Primaries()[30]
+	target := arr.Neighbors(start)[0]
+	fs.MarkFaulty(target)
+	sim, err := New(arr, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sim.Dispense(start, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step([]Command{{Droplet: id, Target: target}}); err == nil {
+		t.Error("move onto faulty cell accepted")
+	}
+	if _, err := sim.Dispense(target, testDroplet(t)); err == nil {
+		t.Error("dispense onto faulty cell accepted")
+	}
+}
+
+func TestSpacingViolationRejected(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	// Find two primaries at distance 3 along a line.
+	var a, b layout.CellID = -1, -1
+	for _, p := range arr.Primaries() {
+		pos := arr.Cell(p).Pos
+		q := arr.CellAt(pos.Add(hexOffset(3, 0)))
+		if q != layout.NoCell {
+			a, b = p, q
+			break
+		}
+	}
+	if a < 0 {
+		t.Fatal("no suitable cell pair")
+	}
+	ida, err := sim.Dispense(a, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, err := sim.Dispense(b, testDroplet(t))
+	if err != nil {
+		t.Fatalf("distance-3 dispense should be legal: %v", err)
+	}
+	// Moving the droplets toward each other to distance 1 must fail.
+	posA := arr.Cell(a).Pos
+	mid := arr.CellAt(posA.Add(hexOffset(1, 0)))
+	mid2 := arr.CellAt(posA.Add(hexOffset(2, 0)))
+	if mid == layout.NoCell || mid2 == layout.NoCell {
+		t.Fatal("geometry broken")
+	}
+	err = sim.Step([]Command{
+		{Droplet: ida, Target: mid},
+		{Droplet: idb, Target: mid2},
+	})
+	if err == nil {
+		t.Error("adjacent non-merging droplets accepted")
+	}
+}
+
+func hexOffset(dq, dr int) hexgrid.Axial {
+	return hexgrid.Axial{Q: dq, R: dr}
+}
+
+func TestSanctionedMerge(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	var a layout.CellID = -1
+	var mid, b layout.CellID
+	for _, p := range arr.Primaries() {
+		pos := arr.Cell(p).Pos
+		m := arr.CellAt(pos.Add(hexOffset(1, 0)))
+		q := arr.CellAt(pos.Add(hexOffset(2, 0)))
+		if m != layout.NoCell && q != layout.NoCell {
+			a, mid, b = p, m, q
+			break
+		}
+	}
+	if a < 0 {
+		t.Fatal("no row of three cells")
+	}
+	s1, err := droplet.New(1, droplet.Mixture{droplet.Glucose: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := droplet.New(1, droplet.Mixture{droplet.GlucoseOxidase: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ida, err := sim.Dispense(a, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, err := sim.Dispense(b, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsanctioned convergence fails.
+	if err := sim.Step([]Command{
+		{Droplet: ida, Target: mid},
+		{Droplet: idb, Target: mid},
+	}); err == nil {
+		t.Fatal("unsanctioned merge accepted")
+	}
+	// Sanctioned merge succeeds and produces one combined droplet.
+	if err := sim.Step([]Command{
+		{Droplet: ida, Target: mid, MergeWith: idb},
+		{Droplet: idb, Target: mid, MergeWith: ida},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Droplets()) != 1 {
+		t.Fatalf("%d droplets after merge", len(sim.Droplets()))
+	}
+	merged := sim.Droplets()[0]
+	if merged.D.Volume != 2 {
+		t.Errorf("merged volume %v", merged.D.Volume)
+	}
+	if merged.D.Mixed() {
+		t.Error("fresh merge should be unmixed")
+	}
+	if merged.D.Contents[droplet.Glucose] != 0.002 {
+		t.Errorf("diluted glucose %v, want 0.002", merged.D.Contents[droplet.Glucose])
+	}
+}
+
+func TestMixingByTransport(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	var a layout.CellID = -1
+	var mid, b layout.CellID
+	for _, p := range arr.Primaries() {
+		pos := arr.Cell(p).Pos
+		m := arr.CellAt(pos.Add(hexOffset(1, 0)))
+		q := arr.CellAt(pos.Add(hexOffset(2, 0)))
+		if m != layout.NoCell && q != layout.NoCell && arr.IsInterior(m) {
+			a, mid, b = p, m, q
+			break
+		}
+	}
+	if a < 0 {
+		t.Fatal("no suitable cells")
+	}
+	d1, _ := droplet.New(1, droplet.Mixture{droplet.Glucose: 1})
+	d2, _ := droplet.New(1, nil)
+	ida, _ := sim.Dispense(a, d1)
+	idb, _ := sim.Dispense(b, d2)
+	if err := sim.Step([]Command{
+		{Droplet: ida, Target: mid, MergeWith: idb},
+		{Droplet: idb, Target: mid, MergeWith: ida},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := sim.Droplets()[0].ID
+	// Shuttle the droplet back and forth until mixed.
+	cells := []layout.CellID{a, mid}
+	steps := 0
+	for !sim.Droplets()[0].D.Mixed() {
+		target := cells[steps%2]
+		if err := sim.Step([]Command{{Droplet: id, Target: target}}); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 200 {
+			t.Fatal("mixing never completed")
+		}
+	}
+	want := int(1.0 / MixingRatePerMove)
+	if steps != want {
+		t.Errorf("mixed after %d moves, want %d", steps, want)
+	}
+}
+
+func TestSplitCreatesTwin(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	start := arr.Primaries()[50]
+	d, _ := droplet.New(2, droplet.Mixture{droplet.Lactate: 0.004})
+	id, err := sim.Dispense(start, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := arr.Neighbors(start)[0]
+	twin, err := sim.Split(id, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Droplets()) != 2 {
+		t.Fatal("split should leave two droplets")
+	}
+	stA, _ := sim.Droplet(id)
+	stB, _ := sim.Droplet(twin)
+	if stA.D.Volume != 1 || stB.D.Volume != 1 {
+		t.Errorf("split volumes %v/%v", stA.D.Volume, stB.D.Volume)
+	}
+	if stB.Cell != target {
+		t.Error("twin not at target")
+	}
+	// Splitting a non-existent droplet fails.
+	if _, err := sim.Split(999, target); err == nil {
+		t.Error("unknown droplet accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	id, _ := sim.Dispense(arr.Primaries()[0], testDroplet(t))
+	if err := sim.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Droplets()) != 0 {
+		t.Error("droplet not removed")
+	}
+	if err := sim.Remove(id); err == nil {
+		t.Error("double remove accepted")
+	}
+	// The cell is free again.
+	if _, err := sim.Dispense(arr.Primaries()[0], testDroplet(t)); err != nil {
+		t.Errorf("cell not freed: %v", err)
+	}
+}
+
+func TestSwapRejected(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	var a layout.CellID = -1
+	var b layout.CellID
+	for _, p := range arr.Primaries() {
+		pos := arr.Cell(p).Pos
+		q := arr.CellAt(pos.Add(hexOffset(1, 0)))
+		if q != layout.NoCell {
+			a, b = p, q
+			break
+		}
+	}
+	// Dispense both (must bypass spacing by dispensing then moving? adjacent
+	// dispense violates spacing, so craft via merge sanction instead):
+	// directly test the command path with two droplets placed legally at
+	// distance, then attempt swap after moving adjacent with merge flags.
+	// Simpler: place at distance 2 and command a swap through each other.
+	var c layout.CellID
+	pos := arr.Cell(a).Pos
+	c = arr.CellAt(pos.Add(hexOffset(2, 0)))
+	if a < 0 || c == layout.NoCell {
+		t.Fatal("geometry")
+	}
+	ida, err := sim.Dispense(a, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idc, err := sim.Dispense(c, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both move toward each other claiming merge with... nothing: the swap
+	// through cell b is impossible; commanding a->b and c->b unsanctioned
+	// covered elsewhere; command a->b, c->a is a near-swap that must fail
+	// the spacing check.
+	if err := sim.Step([]Command{
+		{Droplet: ida, Target: b},
+		{Droplet: idc, Target: b},
+	}); err == nil {
+		t.Error("unsanctioned convergence accepted")
+	}
+	_ = idc
+}
+
+func TestFollowPath(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	start := arr.Primaries()[10]
+	id, err := sim.Dispense(start, testDroplet(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk three steps along neighbors.
+	path := []layout.CellID{start}
+	cur := start
+	for i := 0; i < 3; i++ {
+		cur = arr.Neighbors(cur)[0]
+		path = append(path, cur)
+	}
+	if err := sim.FollowPath(id, path); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := sim.Droplet(id)
+	if st.Cell != cur {
+		t.Errorf("droplet at %d, want %d", st.Cell, cur)
+	}
+	if sim.Cycle() != 3 {
+		t.Errorf("cycle %d, want 3", sim.Cycle())
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	id, _ := sim.Dispense(arr.Primaries()[20], testDroplet(t))
+	_ = sim.Step([]Command{{Droplet: id, Target: arr.Neighbors(arr.Primaries()[20])[0]}})
+	_ = sim.Remove(id)
+	events := sim.Events()
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	kinds := []EventKind{EvDispense, EvMove, EvRemove}
+	for i, ev := range events {
+		if ev.Kind != kinds[i] {
+			t.Errorf("event %d kind %v, want %v", i, ev.Kind, kinds[i])
+		}
+	}
+	for _, k := range []EventKind{EvDispense, EvMove, EvHold, EvMerge, EvSplit, EvRemove} {
+		if strings.HasPrefix(k.String(), "event(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestUnknownDropletCommand(t *testing.T) {
+	arr := testArray(t)
+	sim, _ := New(arr, nil)
+	if err := sim.Step([]Command{{Droplet: 42, Target: 0}}); err == nil {
+		t.Error("command for unknown droplet accepted")
+	}
+}

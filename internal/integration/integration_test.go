@@ -1,0 +1,329 @@
+// Package integration holds cross-module end-to-end tests: the full
+// defect-tolerance lifecycle (manufacture -> test -> diagnose -> reconfigure
+// -> execute bioassays on the fluidics simulator) that no single package
+// exercises alone.
+package integration
+
+import (
+	"math"
+	"testing"
+
+	"dmfb/internal/bioassay"
+	"dmfb/internal/chip"
+	"dmfb/internal/defects"
+	"dmfb/internal/electrowetting"
+	"dmfb/internal/fluidics"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/router"
+	"dmfb/internal/scheduler"
+	"dmfb/internal/testplan"
+	"dmfb/internal/yieldsim"
+)
+
+// TestManufactureTestRepairLifecycle drives the complete industrial flow on
+// the case-study chip: hidden defects are injected, localized by stimulus
+// droplets, repaired by local reconfiguration, and the repaired chip is
+// verified to support droplet routing between distant fault-free cells.
+func TestManufactureTestRepairLifecycle(t *testing.T) {
+	c, err := chip.NewRedesignedChip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := c.Array()
+
+	// Manufacture with hidden defects.
+	in := defects.NewInjector(424242)
+	truth, err := in.FixedCount(arr, 12, defects.AllCells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Test & diagnose from a fault-free source.
+	source := layout.NoCell
+	for _, id := range arr.Primaries() {
+		if !truth.IsFaulty(id) {
+			source = id
+			break
+		}
+	}
+	session, err := testplan.NewSession(arr, truth, source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := session.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testplan.VerifyDiagnosis(arr, truth, diag); err != nil {
+		t.Fatalf("diagnosis unsound: %v", err)
+	}
+	if !diag.Complete {
+		t.Logf("note: %d cells unreachable in diagnosis", len(diag.Unreachable))
+	}
+
+	// Reconfigure from the diagnosis (not the hidden truth).
+	diagnosed := defects.NewFaultSet(arr.NumCells())
+	for _, id := range diag.Faulty {
+		diagnosed.MarkFaulty(id)
+	}
+	plan, err := reconfig.LocalReconfigure(arr, diagnosed, reconfig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reconfig.VerifyComplete(arr, diagnosed, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repaired chip must still route droplets between distant cells.
+	cons := router.Constraints{Faults: truth, PrimariesOnly: true}
+	usable := router.ReachableFrom(arr, source, cons)
+	if len(usable) < arr.NumPrimary()/2 {
+		t.Fatalf("repaired chip fragmented: only %d usable primaries", len(usable))
+	}
+	path, err := router.ShortestPath(arr, usable[0], usable[len(usable)-1], cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range path {
+		if truth.IsFaulty(id) {
+			t.Fatal("route crosses a faulty cell")
+		}
+	}
+}
+
+// TestGlucoseAssayOnFaultyChip executes a complete glucose assay on the
+// fluidics simulator of a chip with injected faults: dispense, routed
+// transport, sanctioned merge, shuttle mixing, detection, and concentration
+// recovery through the kinetics calibration.
+func TestGlucoseAssayOnFaultyChip(t *testing.T) {
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 14, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := defects.NewInjector(99)
+	faults, err := in.FixedCount(arr, 8, defects.AllCells, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fluidics.New(arr, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protocol := bioassay.ProtocolFor(bioassay.Glucose)
+	const conc = 0.006
+
+	cons := router.Constraints{Faults: faults, PrimariesOnly: true}
+	start := layout.NoCell
+	for _, id := range arr.Primaries() {
+		if !faults.IsFaulty(id) {
+			start = id
+			break
+		}
+	}
+	usable := router.ReachableFrom(arr, start, cons)
+	if len(usable) < 30 {
+		t.Fatal("array too fragmented")
+	}
+	sampleSrc := usable[0]
+	reagentSrc := usable[len(usable)-1]
+
+	// Find a mixing site with a feasible approach.
+	var mix, approach, staging layout.CellID = layout.NoCell, layout.NoCell, layout.NoCell
+	var samplePath, stagePath []layout.CellID
+	for _, cand := range usable[len(usable)/3:] {
+		sp, err := router.ShortestPath(arr, sampleSrc, cand, cons)
+		if err != nil {
+			continue
+		}
+		blocked := map[layout.CellID]bool{cand: true}
+		for _, nb := range arr.Neighbors(cand) {
+			blocked[nb] = true
+		}
+		consStage := cons
+		consStage.Blocked = blocked
+		for _, nb := range arr.Neighbors(cand) {
+			if faults.IsFaulty(nb) || arr.Cell(nb).Role != layout.Primary {
+				continue
+			}
+			for _, nb2 := range arr.Neighbors(nb) {
+				if blocked[nb2] || faults.IsFaulty(nb2) || arr.Cell(nb2).Role != layout.Primary || nb2 == reagentSrc {
+					continue
+				}
+				if stp, err := router.ShortestPath(arr, reagentSrc, nb2, consStage); err == nil {
+					mix, approach, staging = cand, nb, nb2
+					samplePath, stagePath = sp, stp
+				}
+				break
+			}
+			if mix != layout.NoCell {
+				break
+			}
+		}
+		if mix != layout.NoCell {
+			break
+		}
+	}
+	if mix == layout.NoCell {
+		t.Fatal("no feasible mixing site")
+	}
+	_ = staging
+
+	sample, err := protocol.SampleDroplet(1, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reagent, err := protocol.ReagentDroplet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := sim.Dispense(sampleSrc, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FollowPath(sid, samplePath); err != nil {
+		t.Fatal(err)
+	}
+	rid, err := sim.Dispense(reagentSrc, reagent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.FollowPath(rid, stagePath); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step([]fluidics.Command{
+		{Droplet: rid, Target: approach, MergeWith: sid},
+		{Droplet: sid, Target: mix, MergeWith: rid},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step([]fluidics.Command{
+		{Droplet: rid, Target: mix, MergeWith: sid},
+		{Droplet: sid, Target: mix, MergeWith: rid},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Droplets()) != 1 {
+		t.Fatal("merge failed")
+	}
+	merged := sim.Droplets()[0].ID
+	shuttle := []layout.CellID{approach, mix}
+	for i := 0; ; i++ {
+		st, _ := sim.Droplet(merged)
+		if st.D.Mixed() {
+			break
+		}
+		if err := sim.Step([]fluidics.Command{{Droplet: merged, Target: shuttle[i%2]}}); err != nil {
+			t.Fatal(err)
+		}
+		if i > 100 {
+			t.Fatal("mixing never completed")
+		}
+	}
+	st, _ := sim.Droplet(merged)
+	absorbance, err := protocol.Measure(st.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := protocol.EstimateConcentration(absorbance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-conc/2) > 1e-9 {
+		t.Errorf("estimated %v, want %v", est, conc/2)
+	}
+}
+
+// TestScheduledWorkloadRespectsElectrowettingTiming converts the scheduled
+// multiplexed workload into wall-clock time with the electrowetting model
+// and sanity-checks the result against the paper's device physics.
+func TestScheduledWorkloadRespectsElectrowettingTiming(t *testing.T) {
+	ops := bioassay.MultiplexedWorkload()
+	sched, err := scheduler.List(ops, scheduler.DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := electrowetting.Default()
+	stepTime, err := ew.TransportTime(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(sched.Makespan) * stepTime
+	// At 7.5 ms/cycle and makespans around 100 cycles, the multiplexed
+	// panel completes within seconds — matching the real-time claims of the
+	// cited lab-on-chip experiments.
+	if total <= 0 || total > 60 {
+		t.Errorf("workload time %v s implausible", total)
+	}
+}
+
+// TestYieldConsistencyAcrossEntryPoints cross-checks the three routes to a
+// yield number: direct Monte-Carlo, the core Biochip analysis, and (for
+// DTMB(1,6) cluster-complete arrays) the closed form.
+func TestYieldConsistencyAcrossEntryPoints(t *testing.T) {
+	arr, err := layout.BuildClusterCompleteDTMB16(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.98
+	mc := yieldsim.NewMonteCarlo(5)
+	mc.Runs = 6000
+	res, err := mc.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := yieldsim.ClusterYieldDTMB16(p, arr.NumPrimary())
+	if analytic < res.CILo-0.02 || analytic > res.CIHi+0.02 {
+		t.Errorf("analytic %v outside MC interval [%v, %v]", analytic, res.CILo, res.CIHi)
+	}
+}
+
+// TestDiagnosisDrivenRepairMatchesOmniscientRepair verifies that repairing
+// from a (complete) diagnosis is as good as repairing from the hidden truth.
+func TestDiagnosisDrivenRepairMatchesOmniscientRepair(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB36(), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := defects.NewInjector(31415)
+	for trial := 0; trial < 25; trial++ {
+		truth, err := in.FixedCount(arr, 9, defects.AllCells, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source := layout.NoCell
+		for _, id := range arr.Primaries() {
+			if !truth.IsFaulty(id) {
+				source = id
+				break
+			}
+		}
+		session, err := testplan.NewSession(arr, truth, source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := session.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diag.Complete {
+			continue // fragmented instance: diagnosis legitimately partial
+		}
+		diagnosed := defects.NewFaultSet(arr.NumCells())
+		for _, id := range diag.Faulty {
+			diagnosed.MarkFaulty(id)
+		}
+		fromDiag, err := reconfig.LocalReconfigure(arr, diagnosed, reconfig.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromTruth, err := reconfig.LocalReconfigure(arr, truth, reconfig.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromDiag.OK != fromTruth.OK {
+			t.Fatalf("trial %d: diagnosis-driven repair OK=%v, omniscient OK=%v",
+				trial, fromDiag.OK, fromTruth.OK)
+		}
+	}
+}

@@ -1,0 +1,475 @@
+// Package layout constructs defect-tolerant microfluidic arrays with
+// interstitial redundancy, the DTMB(s, p) designs of Su, Chakrabarty and
+// Pamula (DATE 2005).
+//
+// A DTMB(s, p) array is a hexagonal-electrode array in which spare cells
+// occupy interstitial lattice sites so that every non-boundary primary cell
+// is physically adjacent to exactly s spare cells and every non-boundary
+// spare cell is adjacent to exactly p primary cells. Because droplets can
+// only move between physically adjacent cells ("microfluidic locality"),
+// this placement is what makes purely local reconfiguration possible.
+//
+// Spare sites form sublattices of the triangular lattice; the membership
+// rules below are derived in DESIGN.md §3 and verified by the package tests:
+//
+//	DTMB(1,6):  (2q − r) ≡ 0 (mod 7)      — the index-7 perfect code
+//	DTMB(2,6)A:  q ≡ 0 and r ≡ 0 (mod 2)
+//	DTMB(2,6)B:  r ≡ 0 (mod 2) and (2q − r) ≡ 0 (mod 4)
+//	DTMB(3,6):  (q − r) ≡ 0 (mod 3)       — the √3×√3 superlattice
+//	DTMB(4,4):  r ≡ 0 (mod 2)             — alternating spare rows
+package layout
+
+import (
+	"fmt"
+
+	"dmfb/internal/hexgrid"
+)
+
+// Role distinguishes primary (working) cells from interstitial spares.
+type Role uint8
+
+const (
+	// Primary cells carry out droplet operations during normal use.
+	Primary Role = iota
+	// Spare cells sit at interstitial sites and replace adjacent faulty
+	// primaries during reconfiguration.
+	Spare
+)
+
+// String returns "primary" or "spare".
+func (r Role) String() string {
+	if r == Spare {
+		return "spare"
+	}
+	return "primary"
+}
+
+// Design describes a DTMB(s, p) interstitial-redundancy pattern.
+type Design struct {
+	// Name is the paper's designation, e.g. "DTMB(2,6)".
+	Name string
+	// S is the number of spare cells adjacent to each non-boundary primary.
+	S int
+	// P is the number of primary cells adjacent to each non-boundary spare.
+	P int
+	// IsSpare reports whether the lattice site is a spare site.
+	IsSpare func(hexgrid.Axial) bool
+}
+
+// RR returns the asymptotic redundancy ratio s/p (spares per primary) of the
+// design, Table 1 of the paper.
+func (d Design) RR() float64 { return float64(d.S) / float64(d.P) }
+
+// mod returns the non-negative remainder of x modulo m.
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// DTMB16 returns the DTMB(1,6) design: every primary adjacent to exactly one
+// spare, every spare to six primaries (RR = 1/6). Spares occupy the index-7
+// perfect-code sublattice.
+func DTMB16() Design {
+	return Design{
+		Name: "DTMB(1,6)",
+		S:    1, P: 6,
+		IsSpare: func(a hexgrid.Axial) bool { return mod(2*a.Q-a.R, 7) == 0 },
+	}
+}
+
+// DTMB26 returns the DTMB(2,6) design of the paper's Fig. 4(a): spares on the
+// doubled sublattice (RR = 1/3).
+func DTMB26() Design {
+	return Design{
+		Name: "DTMB(2,6)",
+		S:    2, P: 6,
+		IsSpare: func(a hexgrid.Axial) bool { return mod(a.Q, 2) == 0 && mod(a.R, 2) == 0 },
+	}
+}
+
+// DTMB26Alt returns the alternative DTMB(2,6) arrangement of the paper's
+// Fig. 4(b): same (s, p) signature and redundancy ratio, different spare
+// sublattice geometry.
+func DTMB26Alt() Design {
+	return Design{
+		Name: "DTMB(2,6)alt",
+		S:    2, P: 6,
+		IsSpare: func(a hexgrid.Axial) bool {
+			return mod(a.R, 2) == 0 && mod(2*a.Q-a.R, 4) == 0
+		},
+	}
+}
+
+// DTMB36 returns the DTMB(3,6) design (RR = 1/2): spares on the √3×√3
+// superlattice so every primary touches three spares.
+func DTMB36() Design {
+	return Design{
+		Name: "DTMB(3,6)",
+		S:    3, P: 6,
+		IsSpare: func(a hexgrid.Axial) bool { return mod(a.Q-a.R, 3) == 0 },
+	}
+}
+
+// DTMB44 returns the DTMB(4,4) design (RR = 1): alternating rows of spares,
+// the highest redundancy level evaluated in the paper.
+func DTMB44() Design {
+	return Design{
+		Name: "DTMB(4,4)",
+		S:    4, P: 4,
+		IsSpare: func(a hexgrid.Axial) bool { return mod(a.R, 2) == 0 },
+	}
+}
+
+// AllDesigns returns the four canonical designs in the paper's Table 1 order.
+// The DTMB(2,6) Fig. 4(b) variant is available via DTMB26Alt.
+func AllDesigns() []Design {
+	return []Design{DTMB16(), DTMB26(), DTMB36(), DTMB44()}
+}
+
+// DesignByName returns the design with the given name (as produced by the
+// constructors above, e.g. "DTMB(3,6)").
+func DesignByName(name string) (Design, error) {
+	for _, d := range append(AllDesigns(), DTMB26Alt()) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("layout: unknown design %q", name)
+}
+
+// CellID indexes a cell within an Array. IDs are dense in [0, NumCells).
+type CellID int32
+
+// NoCell marks the absence of a cell.
+const NoCell CellID = -1
+
+// Cell is one electrode site of a defect-tolerant array.
+type Cell struct {
+	ID   CellID
+	Pos  hexgrid.Axial
+	Role Role
+}
+
+// Array is a finite defect-tolerant microfluidic array instantiated from a
+// Design over a region of the hexagonal lattice. It precomputes the
+// adjacency indices used by reconfiguration and yield simulation.
+type Array struct {
+	design Design
+	cells  []Cell
+	index  map[hexgrid.Axial]CellID
+
+	primaries []CellID // IDs of primary cells, ascending
+	spares    []CellID // IDs of spare cells, ascending
+
+	// neighbors[id] lists the array-resident neighbors of cell id.
+	neighbors [][]CellID
+	// spareNbrs[id] lists adjacent spare cells (meaningful for primaries).
+	spareNbrs [][]CellID
+	// primaryNbrs[id] lists adjacent primary cells (meaningful for spares).
+	primaryNbrs [][]CellID
+}
+
+// Build instantiates the design over the given region. Every region cell
+// becomes either a primary or a spare according to the design's lattice rule.
+func Build(d Design, region *hexgrid.Region) (*Array, error) {
+	if d.IsSpare == nil {
+		return nil, fmt.Errorf("layout: design %q has no membership rule", d.Name)
+	}
+	if region == nil || region.Len() == 0 {
+		return nil, fmt.Errorf("layout: empty region for design %q", d.Name)
+	}
+	cells := region.Cells() // deterministic row-major order
+	arr := &Array{
+		design: d,
+		cells:  make([]Cell, 0, len(cells)),
+		index:  make(map[hexgrid.Axial]CellID, len(cells)),
+	}
+	for _, pos := range cells {
+		id := CellID(len(arr.cells))
+		role := Primary
+		if d.IsSpare(pos) {
+			role = Spare
+		}
+		arr.cells = append(arr.cells, Cell{ID: id, Pos: pos, Role: role})
+		arr.index[pos] = id
+		if role == Primary {
+			arr.primaries = append(arr.primaries, id)
+		} else {
+			arr.spares = append(arr.spares, id)
+		}
+	}
+	arr.buildAdjacency()
+	return arr, nil
+}
+
+// BuildParallelogram instantiates the design over a w×h axial parallelogram.
+func BuildParallelogram(d Design, w, h int) (*Array, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("layout: invalid parallelogram %dx%d", w, h)
+	}
+	return Build(d, hexgrid.Parallelogram(w, h))
+}
+
+// BuildHexagon instantiates the design over a hexagonal region of the given
+// radius centered at the origin.
+func BuildHexagon(d Design, radius int) (*Array, error) {
+	if radius < 0 {
+		return nil, fmt.Errorf("layout: invalid hexagon radius %d", radius)
+	}
+	return Build(d, hexgrid.Hexagon(radius))
+}
+
+// BuildWithPrimaryTarget builds an array with exactly nPrimary primary cells,
+// the parameter the paper sweeps ("n is the number of primary cells"). It
+// grows a parallelogram until at least nPrimary primaries exist, then trims
+// surplus primary cells from the region boundary (never spares, so the
+// redundancy structure of the remaining primaries is intact).
+func BuildWithPrimaryTarget(d Design, nPrimary int) (*Array, error) {
+	if nPrimary <= 0 {
+		return nil, fmt.Errorf("layout: primary target %d must be positive", nPrimary)
+	}
+	// Estimate the region size from the design's spare density
+	// s/(s+p) per cell, then grow until the primary count suffices.
+	for side := 2; ; side++ {
+		region := hexgrid.Parallelogram(side, side)
+		arr, err := Build(d, region)
+		if err != nil {
+			return nil, err
+		}
+		if len(arr.primaries) < nPrimary {
+			continue
+		}
+		if len(arr.primaries) == nPrimary {
+			return arr, nil
+		}
+		trimmed, err := trimPrimaries(d, region, len(arr.primaries)-nPrimary)
+		if err != nil {
+			return nil, err
+		}
+		return trimmed, nil
+	}
+}
+
+// BuildClusterCompleteDTMB16 builds a DTMB(1,6) array as a union of
+// nClusters complete clusters — one spare plus its six surrounding primaries
+// — chosen spiral-outward from the origin. Because the spare sites form a
+// perfect code, clusters are disjoint and the array has exactly 6·nClusters
+// primary cells, every primary owning its cluster spare. This is the exact
+// geometry assumed by the paper's analytical yield model
+// Y = (p^7 + 7p^6(1−p))^(n/6); parallelogram arrays deviate from it at the
+// boundary (see the boundary-effects ablation in EXPERIMENTS.md).
+func BuildClusterCompleteDTMB16(nClusters int) (*Array, error) {
+	if nClusters <= 0 {
+		return nil, fmt.Errorf("layout: cluster count %d must be positive", nClusters)
+	}
+	d := DTMB16()
+	region := hexgrid.NewRegion()
+	added := 0
+	for radius := 0; added < nClusters; radius++ {
+		for _, c := range hexgrid.Ring(hexgrid.Axial{}, radius) {
+			if !d.IsSpare(c) {
+				continue
+			}
+			region.Add(c)
+			for _, nb := range c.Neighbors() {
+				region.Add(nb)
+			}
+			added++
+			if added == nClusters {
+				break
+			}
+		}
+	}
+	return Build(d, region)
+}
+
+// trimPrimaries removes excess primary cells from the region's outer
+// boundary, scanning from the last row inward, and rebuilds the array.
+func trimPrimaries(d Design, region *hexgrid.Region, excess int) (*Array, error) {
+	r := region.Clone()
+	for excess > 0 {
+		removed := false
+		// Boundary returns deterministic row-major order; remove from the end
+		// (highest row) so trimming stays contiguous and predictable.
+		boundary := r.Boundary()
+		for i := len(boundary) - 1; i >= 0 && excess > 0; i-- {
+			pos := boundary[i]
+			if d.IsSpare(pos) {
+				continue
+			}
+			r.Remove(pos)
+			excess--
+			removed = true
+		}
+		if !removed {
+			return nil, fmt.Errorf("layout: cannot trim %d more primaries", excess)
+		}
+	}
+	return Build(d, r)
+}
+
+func (a *Array) buildAdjacency() {
+	n := len(a.cells)
+	a.neighbors = make([][]CellID, n)
+	a.spareNbrs = make([][]CellID, n)
+	a.primaryNbrs = make([][]CellID, n)
+	for i := range a.cells {
+		c := &a.cells[i]
+		for _, npos := range c.Pos.Neighbors() {
+			nid, ok := a.index[npos]
+			if !ok {
+				continue
+			}
+			a.neighbors[i] = append(a.neighbors[i], nid)
+			switch a.cells[nid].Role {
+			case Spare:
+				a.spareNbrs[i] = append(a.spareNbrs[i], nid)
+			case Primary:
+				a.primaryNbrs[i] = append(a.primaryNbrs[i], nid)
+			}
+		}
+	}
+}
+
+// Design returns the design the array was built from.
+func (a *Array) Design() Design { return a.design }
+
+// NumCells returns the total number of cells N (primaries + spares).
+func (a *Array) NumCells() int { return len(a.cells) }
+
+// NumPrimary returns the number of primary cells n.
+func (a *Array) NumPrimary() int { return len(a.primaries) }
+
+// NumSpare returns the number of spare cells.
+func (a *Array) NumSpare() int { return len(a.spares) }
+
+// Primaries returns the IDs of all primary cells in ascending order. The
+// slice is owned by the array and must not be modified.
+func (a *Array) Primaries() []CellID { return a.primaries }
+
+// Spares returns the IDs of all spare cells in ascending order. The slice is
+// owned by the array and must not be modified.
+func (a *Array) Spares() []CellID { return a.spares }
+
+// Cell returns the cell with the given ID.
+func (a *Array) Cell(id CellID) Cell { return a.cells[id] }
+
+// CellAt returns the ID of the cell at the given position, or NoCell.
+func (a *Array) CellAt(pos hexgrid.Axial) CellID {
+	if id, ok := a.index[pos]; ok {
+		return id
+	}
+	return NoCell
+}
+
+// Neighbors returns the array-resident neighbors of id. The slice is owned by
+// the array and must not be modified.
+func (a *Array) Neighbors(id CellID) []CellID { return a.neighbors[id] }
+
+// SpareNeighbors returns the spare cells adjacent to id (normally a primary).
+// The slice is owned by the array and must not be modified.
+func (a *Array) SpareNeighbors(id CellID) []CellID { return a.spareNbrs[id] }
+
+// PrimaryNeighbors returns the primary cells adjacent to id (normally a
+// spare). The slice is owned by the array and must not be modified.
+func (a *Array) PrimaryNeighbors(id CellID) []CellID { return a.primaryNbrs[id] }
+
+// RedundancyRatio returns the realized spare/primary ratio of this finite
+// array. It approaches Design().RR() as the array grows (Definition 2).
+func (a *Array) RedundancyRatio() float64 {
+	if len(a.primaries) == 0 {
+		return 0
+	}
+	return float64(len(a.spares)) / float64(len(a.primaries))
+}
+
+// IsInterior reports whether all six lattice neighbors of id are present in
+// the array. The DTMB (s, p) signature is guaranteed only for interior cells.
+func (a *Array) IsInterior(id CellID) bool { return len(a.neighbors[id]) == 6 }
+
+// SignatureStats summarizes how many interior cells match the design's
+// (s, p) signature; used by Validate and reported by the layout tool.
+type SignatureStats struct {
+	InteriorPrimaries, MatchingPrimaries int
+	InteriorSpares, MatchingSpares       int
+}
+
+// Signature verifies the DTMB(s, p) property on interior cells.
+func (a *Array) Signature() SignatureStats {
+	var st SignatureStats
+	for i := range a.cells {
+		id := CellID(i)
+		if !a.IsInterior(id) {
+			continue
+		}
+		switch a.cells[i].Role {
+		case Primary:
+			st.InteriorPrimaries++
+			if len(a.spareNbrs[i]) == a.design.S {
+				st.MatchingPrimaries++
+			}
+		case Spare:
+			st.InteriorSpares++
+			if len(a.primaryNbrs[i]) == a.design.P {
+				st.MatchingSpares++
+			}
+		}
+	}
+	return st
+}
+
+// Validate checks the structural invariants of the array: dense IDs,
+// consistent index, no adjacent spare pair (spares are interstitial), and the
+// exact (s, p) signature on every interior cell. It returns nil when sound.
+func (a *Array) Validate() error {
+	for i := range a.cells {
+		if a.cells[i].ID != CellID(i) {
+			return fmt.Errorf("layout: cell %d has ID %d", i, a.cells[i].ID)
+		}
+		if got := a.index[a.cells[i].Pos]; got != CellID(i) {
+			return fmt.Errorf("layout: index[%v] = %d, want %d", a.cells[i].Pos, got, i)
+		}
+	}
+	// When p = 6 a spare's whole neighborhood is primary, so spares must be
+	// pairwise non-adjacent. Designs with p < 6 (DTMB(4,4)) place spares in
+	// rows: an interior spare then touches exactly 6−p other spares, which
+	// the signature check below enforces.
+	if a.design.P == 6 {
+		for _, s := range a.spares {
+			for _, nb := range a.neighbors[s] {
+				if a.cells[nb].Role == Spare {
+					return fmt.Errorf("layout: adjacent spares %v and %v in %s",
+						a.cells[s].Pos, a.cells[nb].Pos, a.design.Name)
+				}
+			}
+		}
+	}
+	st := a.Signature()
+	if st.MatchingPrimaries != st.InteriorPrimaries {
+		return fmt.Errorf("layout: %s: %d/%d interior primaries have s=%d spare neighbors",
+			a.design.Name, st.MatchingPrimaries, st.InteriorPrimaries, a.design.S)
+	}
+	if st.MatchingSpares != st.InteriorSpares {
+		return fmt.Errorf("layout: %s: %d/%d interior spares have p=%d primary neighbors",
+			a.design.Name, st.MatchingSpares, st.InteriorSpares, a.design.P)
+	}
+	return nil
+}
+
+// Region returns a copy of the array's cell positions as a region.
+func (a *Array) Region() *hexgrid.Region {
+	r := hexgrid.NewRegion()
+	for i := range a.cells {
+		r.Add(a.cells[i].Pos)
+	}
+	return r
+}
+
+// String summarizes the array.
+func (a *Array) String() string {
+	return fmt.Sprintf("%s array: %d primary + %d spare = %d cells (RR %.4f)",
+		a.design.Name, a.NumPrimary(), a.NumSpare(), a.NumCells(), a.RedundancyRatio())
+}

@@ -1,0 +1,239 @@
+// Package placer places microfluidic modules (mixers, detectors, storage)
+// onto cells of a hexagonal array, avoiding faulty cells.
+//
+// It implements the paper's first category of reconfiguration (§4): defect
+// tolerance *without* space redundancy, where faults are tolerated by
+// re-placing modules onto fault-free unused cells. The paper notes this
+// "leads to an increase in design complexity" and couples fault tolerance
+// into physical design; the placer exists to quantify that baseline against
+// interstitial redundancy (which repairs in place, one spare per fault).
+package placer
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/hexgrid"
+	"dmfb/internal/layout"
+)
+
+// Shape is a module footprint: a set of axial offsets from an anchor cell.
+type Shape struct {
+	Name    string
+	Offsets []hexgrid.Axial
+}
+
+// Size returns the number of cells the shape occupies.
+func (s Shape) Size() int { return len(s.Offsets) }
+
+// MixerShape is a compact 4-cell rhombus used as a droplet mixer region.
+func MixerShape() Shape {
+	return Shape{
+		Name: "mixer",
+		Offsets: []hexgrid.Axial{
+			{Q: 0, R: 0}, {Q: 1, R: 0}, {Q: 0, R: 1}, {Q: 1, R: 1},
+		},
+	}
+}
+
+// DetectorShape is a single transparent-electrode detection cell.
+func DetectorShape() Shape {
+	return Shape{Name: "detector", Offsets: []hexgrid.Axial{{Q: 0, R: 0}}}
+}
+
+// StorageShape is a 3-cell triangle for parking droplets.
+func StorageShape() Shape {
+	return Shape{
+		Name: "storage",
+		Offsets: []hexgrid.Axial{
+			{Q: 0, R: 0}, {Q: 1, R: 0}, {Q: 0, R: 1},
+		},
+	}
+}
+
+// FlowerShape is the 7-cell cluster (a cell plus its six neighbors), a
+// large mixer/reaction chamber.
+func FlowerShape() Shape {
+	offsets := []hexgrid.Axial{{Q: 0, R: 0}}
+	for _, d := range hexgrid.Directions {
+		offsets = append(offsets, d)
+	}
+	return Shape{Name: "flower", Offsets: offsets}
+}
+
+// Placement is one placed module instance.
+type Placement struct {
+	Shape  Shape
+	Anchor hexgrid.Axial
+	Cells  []layout.CellID
+}
+
+// Request asks for count instances of a shape.
+type Request struct {
+	Shape Shape
+	Count int
+}
+
+// Options tunes the placer.
+type Options struct {
+	// Faults marks unusable cells (nil = defect-free array).
+	Faults *defects.FaultSet
+	// PrimariesOnly restricts placement to primary cells, keeping spares
+	// free for reconfiguration.
+	PrimariesOnly bool
+	// Spacing requires this many cells of clearance between modules
+	// (0 = modules may touch; 1 = one empty ring, the fluidic-isolation
+	// default).
+	Spacing int
+}
+
+// Result is the outcome of a placement run.
+type Result struct {
+	Placements []Placement
+	// Failed lists the requests (by shape name) that could not be placed.
+	Failed []string
+}
+
+// OK reports whether every requested instance was placed.
+func (r Result) OK() bool { return len(r.Failed) == 0 }
+
+// usable reports whether a cell can host module area.
+func usable(arr *layout.Array, opts Options, id layout.CellID) bool {
+	if id == layout.NoCell {
+		return false
+	}
+	if opts.Faults != nil && opts.Faults.IsFaulty(id) {
+		return false
+	}
+	if opts.PrimariesOnly && arr.Cell(id).Role != layout.Primary {
+		return false
+	}
+	return true
+}
+
+// Place greedily places all requested modules: anchors are scanned in
+// row-major order and the first feasible anchor wins (first-fit). Greedy
+// first-fit mirrors the incremental re-placement a chip controller performs
+// after fault diagnosis.
+func Place(arr *layout.Array, reqs []Request, opts Options) (Result, error) {
+	if opts.Spacing < 0 {
+		return Result{}, fmt.Errorf("placer: negative spacing")
+	}
+	occupied := make(map[layout.CellID]bool)
+	blockedNear := make(map[layout.CellID]bool) // occupied + spacing halo
+
+	anchors := make([]hexgrid.Axial, 0, arr.NumCells())
+	for i := 0; i < arr.NumCells(); i++ {
+		anchors = append(anchors, arr.Cell(layout.CellID(i)).Pos)
+	}
+	hexgrid.SortAxial(anchors)
+
+	var result Result
+	for _, req := range reqs {
+		if req.Count < 0 {
+			return Result{}, fmt.Errorf("placer: negative count for %q", req.Shape.Name)
+		}
+		if req.Shape.Size() == 0 {
+			return Result{}, fmt.Errorf("placer: empty shape %q", req.Shape.Name)
+		}
+		for inst := 0; inst < req.Count; inst++ {
+			placed := false
+			for _, anchor := range anchors {
+				cells, ok := footprint(arr, opts, anchor, req.Shape, occupied, blockedNear)
+				if !ok {
+					continue
+				}
+				result.Placements = append(result.Placements, Placement{
+					Shape:  req.Shape,
+					Anchor: anchor,
+					Cells:  cells,
+				})
+				for _, c := range cells {
+					occupied[c] = true
+					blockedNear[c] = true
+					if opts.Spacing > 0 {
+						for _, ring := range hexgrid.Spiral(arr.Cell(c).Pos, opts.Spacing) {
+							if id := arr.CellAt(ring); id != layout.NoCell {
+								blockedNear[id] = true
+							}
+						}
+					}
+				}
+				placed = true
+				break
+			}
+			if !placed {
+				result.Failed = append(result.Failed, req.Shape.Name)
+			}
+		}
+	}
+	return result, nil
+}
+
+// footprint resolves a shape at an anchor to cell IDs, checking usability,
+// occupancy, and spacing halos.
+func footprint(arr *layout.Array, opts Options, anchor hexgrid.Axial, s Shape,
+	occupied, blockedNear map[layout.CellID]bool) ([]layout.CellID, bool) {
+	cells := make([]layout.CellID, 0, len(s.Offsets))
+	for _, off := range s.Offsets {
+		id := arr.CellAt(anchor.Add(off))
+		if !usable(arr, opts, id) || occupied[id] || blockedNear[id] {
+			return nil, false
+		}
+		cells = append(cells, id)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	return cells, true
+}
+
+// Verify checks a placement result: cells usable, disjoint, shapes intact.
+func Verify(arr *layout.Array, res Result, opts Options) error {
+	seen := make(map[layout.CellID]bool)
+	for _, p := range res.Placements {
+		if len(p.Cells) != p.Shape.Size() {
+			return fmt.Errorf("placer: %q at %v has %d cells, want %d",
+				p.Shape.Name, p.Anchor, len(p.Cells), p.Shape.Size())
+		}
+		for _, c := range p.Cells {
+			if !usable(arr, opts, c) {
+				return fmt.Errorf("placer: %q uses unusable cell %d", p.Shape.Name, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("placer: cell %d used twice", c)
+			}
+			seen[c] = true
+		}
+	}
+	return nil
+}
+
+// SurvivalStudy measures the category-1 baseline: the probability that all
+// requested modules can still be placed when each cell fails independently
+// with probability 1−p, over the given number of Monte-Carlo rounds.
+// Interstitial redundancy answers the same question with local spare
+// substitution instead of global re-placement.
+func SurvivalStudy(arr *layout.Array, reqs []Request, opts Options, p float64, rounds int, seed int64) (float64, error) {
+	if rounds <= 0 {
+		return 0, fmt.Errorf("placer: rounds must be positive")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("placer: survival probability %v outside [0,1]", p)
+	}
+	in := defects.NewInjector(seed)
+	ok := 0
+	var fs *defects.FaultSet
+	for i := 0; i < rounds; i++ {
+		fs = in.Bernoulli(arr, p, fs)
+		o := opts
+		o.Faults = fs
+		res, err := Place(arr, reqs, o)
+		if err != nil {
+			return 0, err
+		}
+		if res.OK() {
+			ok++
+		}
+	}
+	return float64(ok) / float64(rounds), nil
+}

@@ -1,0 +1,208 @@
+package placer
+
+import (
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+)
+
+func buildArray(t testing.TB) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 14, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestShapes(t *testing.T) {
+	if MixerShape().Size() != 4 {
+		t.Error("mixer shape size")
+	}
+	if DetectorShape().Size() != 1 {
+		t.Error("detector shape size")
+	}
+	if StorageShape().Size() != 3 {
+		t.Error("storage shape size")
+	}
+	if FlowerShape().Size() != 7 {
+		t.Error("flower shape size")
+	}
+}
+
+func TestPlaceBasicWorkload(t *testing.T) {
+	arr := buildArray(t)
+	reqs := []Request{
+		{Shape: MixerShape(), Count: 2},
+		{Shape: DetectorShape(), Count: 4},
+		{Shape: StorageShape(), Count: 2},
+	}
+	res, err := Place(arr, reqs, Options{Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("placement failed: %v", res.Failed)
+	}
+	if len(res.Placements) != 8 {
+		t.Errorf("%d placements", len(res.Placements))
+	}
+	if err := Verify(arr, res, Options{Spacing: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceAvoidsFaultyCells(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	// Fail a broad band of cells.
+	for i := 0; i < arr.NumCells(); i += 3 {
+		fs.MarkFaulty(layout.CellID(i))
+	}
+	opts := Options{Faults: fs}
+	res, err := Place(arr, []Request{{Shape: MixerShape(), Count: 2}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Placements {
+		for _, c := range p.Cells {
+			if fs.IsFaulty(c) {
+				t.Fatalf("module placed on faulty cell %d", c)
+			}
+		}
+	}
+	if err := Verify(arr, res, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacePrimariesOnly(t *testing.T) {
+	arr := buildArray(t)
+	opts := Options{PrimariesOnly: true}
+	res, err := Place(arr, []Request{{Shape: DetectorShape(), Count: 5}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("single-cell placements must fit")
+	}
+	for _, p := range res.Placements {
+		for _, c := range p.Cells {
+			if arr.Cell(c).Role != layout.Primary {
+				t.Fatalf("detector on spare cell %d", c)
+			}
+		}
+	}
+	// A 4-cell rhombus always overlaps a spare site in DTMB(2,6) (spares
+	// tile every 2x2 block), so primaries-only mixers must fail.
+	mix, err := Place(arr, []Request{{Shape: MixerShape(), Count: 1}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.OK() {
+		t.Error("2x2 rhombus should not fit on DTMB(2,6) primaries alone")
+	}
+}
+
+func TestPlacementsDisjointEvenWithoutSpacing(t *testing.T) {
+	arr := buildArray(t)
+	res, err := Place(arr, []Request{{Shape: StorageShape(), Count: 20}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[layout.CellID]bool{}
+	for _, p := range res.Placements {
+		for _, c := range p.Cells {
+			if seen[c] {
+				t.Fatalf("cell %d reused", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestSpacingSeparatesModules(t *testing.T) {
+	arr := buildArray(t)
+	res, err := Place(arr, []Request{{Shape: DetectorShape(), Count: 6}}, Options{Spacing: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatal("six detectors should fit with spacing 2")
+	}
+	for i, a := range res.Placements {
+		for j := i + 1; j < len(res.Placements); j++ {
+			b := res.Placements[j]
+			d := arr.Cell(a.Cells[0]).Pos.Distance(arr.Cell(b.Cells[0]).Pos)
+			if d <= 2 {
+				t.Errorf("detectors %d and %d at distance %d despite spacing 2", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	arr := buildArray(t)
+	if _, err := Place(arr, nil, Options{Spacing: -1}); err == nil {
+		t.Error("negative spacing accepted")
+	}
+	if _, err := Place(arr, []Request{{Shape: Shape{Name: "void"}, Count: 1}}, Options{}); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if _, err := Place(arr, []Request{{Shape: MixerShape(), Count: -1}}, Options{}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestImpossibleRequestReportsFailure(t *testing.T) {
+	arr := buildArray(t)
+	// More flowers than the array can hold with wide spacing.
+	res, err := Place(arr, []Request{{Shape: FlowerShape(), Count: 100}}, Options{Spacing: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("impossible request reported success")
+	}
+	if len(res.Placements)+len(res.Failed) != 100 {
+		t.Errorf("placements %d + failures %d != 100", len(res.Placements), len(res.Failed))
+	}
+}
+
+func TestVerifyCatchesOverlap(t *testing.T) {
+	arr := buildArray(t)
+	res, err := Place(arr, []Request{{Shape: DetectorShape(), Count: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Placements[1].Cells = res.Placements[0].Cells
+	if err := Verify(arr, res, Options{}); err == nil {
+		t.Error("overlapping placements accepted")
+	}
+}
+
+func TestSurvivalStudyMonotoneInP(t *testing.T) {
+	arr := buildArray(t)
+	reqs := []Request{{Shape: MixerShape(), Count: 2}, {Shape: DetectorShape(), Count: 2}}
+	low, err := SurvivalStudy(arr, reqs, Options{}, 0.70, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := SurvivalStudy(arr, reqs, Options{}, 0.99, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < low-0.05 {
+		t.Errorf("survival at p=0.99 (%v) below p=0.70 (%v)", high, low)
+	}
+	if high < 0.9 {
+		t.Errorf("survival at p=0.99 suspiciously low: %v", high)
+	}
+	if _, err := SurvivalStudy(arr, reqs, Options{}, 1.5, 10, 1); err == nil {
+		t.Error("invalid p accepted")
+	}
+	if _, err := SurvivalStudy(arr, reqs, Options{}, 0.9, 0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Package render draws defect-tolerant microfluidic arrays as ASCII art and
+// SVG: cell roles (primary/spare), fault marks, assay-used cells, and
+// local-reconfiguration assignments. It regenerates the layout pictures of
+// the paper (Figs. 3-6, 12) from live data structures.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/hexgrid"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+)
+
+// Marks select the decoration of a rendering.
+type Marks struct {
+	// Faults marks faulty cells (optional).
+	Faults *defects.FaultSet
+	// Used marks assay-used cells (optional, indexed by CellID).
+	Used []bool
+	// Plan highlights replacement spares (optional).
+	Plan *reconfig.Plan
+}
+
+// Glyphs used by the ASCII renderer.
+const (
+	GlyphPrimary     = '.'
+	GlyphSpare       = 'o'
+	GlyphUsed        = 'U'
+	GlyphFaulty      = 'X'
+	GlyphFaultySpare = 'x'
+	GlyphReplacement = 'R'
+	GlyphEmpty       = ' '
+)
+
+// glyphFor picks the ASCII glyph of one cell under the marks.
+func glyphFor(arr *layout.Array, m Marks, id layout.CellID) rune {
+	cell := arr.Cell(id)
+	faulty := m.Faults != nil && m.Faults.IsFaulty(id)
+	if faulty {
+		if cell.Role == layout.Spare {
+			return GlyphFaultySpare
+		}
+		return GlyphFaulty
+	}
+	if m.Plan != nil {
+		for _, a := range m.Plan.Assignments {
+			if a.Spare == id {
+				return GlyphReplacement
+			}
+		}
+	}
+	if cell.Role == layout.Spare {
+		return GlyphSpare
+	}
+	if m.Used != nil && int(id) < len(m.Used) && m.Used[id] {
+		return GlyphUsed
+	}
+	return GlyphPrimary
+}
+
+// ASCII renders the array as offset-staggered rows of glyphs:
+// '.' primary, 'U' used primary, 'o' spare, 'X' faulty primary, 'x' faulty
+// spare, 'R' spare assigned as a replacement. Odd rows are indented half a
+// cell to suggest the hexagonal packing.
+func ASCII(arr *layout.Array, m Marks) string {
+	minQ, maxQ, minR, maxR, ok := arr.Region().Bounds()
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	for r := minR; r <= maxR; r++ {
+		// Hexagonal stagger: each row shifts right with r (axial q offset
+		// keeps columns aligned when printed with the r/2 correction).
+		indent := r - minR
+		b.WriteString(strings.Repeat(" ", indent))
+		for q := minQ; q <= maxQ; q++ {
+			id := arr.CellAt(hexgrid.Axial{Q: q, R: r})
+			if id == layout.NoCell {
+				b.WriteRune(GlyphEmpty)
+			} else {
+				b.WriteRune(glyphFor(arr, m, id))
+			}
+			b.WriteRune(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend returns the glyph legend for ASCII renderings.
+func Legend() string {
+	return ". primary   U used primary   o spare   X faulty primary   x faulty spare   R replacement spare"
+}
+
+// SVG renders the array as a hexagon-tile SVG document. Size is the
+// circumradius of one hexagon in pixels.
+func SVG(arr *layout.Array, m Marks, size float64) string {
+	if size <= 0 {
+		size = 12
+	}
+	const sqrt3 = 1.7320508075688772
+	// Pointy-top hex layout: x = s*sqrt3*(q + r/2), y = s*1.5*r.
+	minX, minY, maxX, maxY := 1e18, 1e18, -1e18, -1e18
+	type placed struct {
+		x, y float64
+		id   layout.CellID
+	}
+	cells := make([]placed, 0, arr.NumCells())
+	for i := 0; i < arr.NumCells(); i++ {
+		id := layout.CellID(i)
+		pos := arr.Cell(id).Pos
+		x := size * sqrt3 * (float64(pos.Q) + float64(pos.R)/2)
+		y := size * 1.5 * float64(pos.R)
+		cells = append(cells, placed{x, y, id})
+		if x < minX {
+			minX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	pad := 2 * size
+	width := maxX - minX + 2*pad
+	height := maxY - minY + 2*pad
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	sort.Slice(cells, func(i, j int) bool { return cells[i].id < cells[j].id })
+	for _, c := range cells {
+		fill, stroke := colorFor(arr, m, c.id)
+		cx := c.x - minX + pad
+		cy := c.y - minY + pad
+		b.WriteString(hexPolygon(cx, cy, size*0.95, fill, stroke))
+	}
+	// Replacement arrows.
+	if m.Plan != nil {
+		index := make(map[layout.CellID]placed, len(cells))
+		for _, c := range cells {
+			index[c.id] = c
+		}
+		for _, a := range m.Plan.Assignments {
+			from, okF := index[a.Faulty]
+			to, okT := index[a.Spare]
+			if !okF || !okT {
+				continue
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
+				from.x-minX+pad, from.y-minY+pad, to.x-minX+pad, to.y-minY+pad)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// colorFor picks SVG colors for one cell.
+func colorFor(arr *layout.Array, m Marks, id layout.CellID) (fill, stroke string) {
+	cell := arr.Cell(id)
+	stroke = "#555555"
+	faulty := m.Faults != nil && m.Faults.IsFaulty(id)
+	switch {
+	case faulty && cell.Role == layout.Spare:
+		return "#f4a6a6", stroke
+	case faulty:
+		return "#d62728", stroke
+	}
+	if m.Plan != nil {
+		for _, a := range m.Plan.Assignments {
+			if a.Spare == id {
+				return "#2ca02c", stroke
+			}
+		}
+	}
+	if cell.Role == layout.Spare {
+		return "#c7c7c7", stroke
+	}
+	if m.Used != nil && int(id) < len(m.Used) && m.Used[id] {
+		return "#aec7e8", stroke
+	}
+	return "#ffffff", stroke
+}
+
+// hexPolygon emits one pointy-top hexagon.
+func hexPolygon(cx, cy, r float64, fill, stroke string) string {
+	// Vertices at 30° + 60°k.
+	pts := make([]string, 6)
+	coords := [6][2]float64{
+		{0.8660254, 0.5}, {0, 1}, {-0.8660254, 0.5},
+		{-0.8660254, -0.5}, {0, -1}, {0.8660254, -0.5},
+	}
+	for i, c := range coords {
+		pts[i] = fmt.Sprintf("%.1f,%.1f", cx+r*c[0], cy+r*c[1])
+	}
+	return fmt.Sprintf(`<polygon points="%s" fill="%s" stroke="%s" stroke-width="1"/>`+"\n",
+		strings.Join(pts, " "), fill, stroke)
+}
+
+// Summary returns a one-paragraph textual description of the array state,
+// used under renderings in tools and examples.
+func Summary(arr *layout.Array, m Marks) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", arr.String())
+	if m.Faults != nil {
+		faultyP := len(m.Faults.FaultyPrimaries(arr))
+		faultyS := len(m.Faults.FaultySpares(arr))
+		fmt.Fprintf(&b, "faults: %d primary, %d spare\n", faultyP, faultyS)
+	}
+	if m.Plan != nil {
+		status := "FAILED"
+		if m.Plan.OK {
+			status = "OK"
+		}
+		fmt.Fprintf(&b, "reconfiguration %s: %d replacements, %d unmatched\n",
+			status, len(m.Plan.Assignments), len(m.Plan.Unmatched))
+	}
+	return b.String()
+}

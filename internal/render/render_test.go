@@ -1,0 +1,133 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+)
+
+func buildArray(t testing.TB) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestASCIIGlyphCounts(t *testing.T) {
+	arr := buildArray(t)
+	out := ASCII(arr, Marks{})
+	if strings.Count(out, string(GlyphSpare)) != arr.NumSpare() {
+		t.Errorf("spare glyphs %d, want %d", strings.Count(out, string(GlyphSpare)), arr.NumSpare())
+	}
+	if strings.Count(out, string(GlyphPrimary)) != arr.NumPrimary() {
+		t.Errorf("primary glyphs %d, want %d", strings.Count(out, string(GlyphPrimary)), arr.NumPrimary())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Errorf("%d rows, want 8", len(lines))
+	}
+}
+
+func TestASCIIFaultAndPlanGlyphs(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	var prim layout.CellID = -1
+	for _, id := range arr.Primaries() {
+		if arr.IsInterior(id) {
+			prim = id
+			break
+		}
+	}
+	spare := arr.Spares()[0]
+	fs.MarkFaulty(prim)
+	fs.MarkFaulty(spare)
+	plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ASCII(arr, Marks{Faults: fs, Plan: &plan})
+	if strings.Count(out, string(GlyphFaulty)) != 1 {
+		t.Errorf("faulty-primary glyphs: %q", out)
+	}
+	if strings.Count(out, string(GlyphFaultySpare)) != 1 {
+		t.Error("faulty-spare glyph missing")
+	}
+	if plan.OK && strings.Count(out, string(GlyphReplacement)) != len(plan.Assignments) {
+		t.Error("replacement glyphs missing")
+	}
+}
+
+func TestASCIIUsedGlyphs(t *testing.T) {
+	arr := buildArray(t)
+	used := make([]bool, arr.NumCells())
+	used[arr.Primaries()[0]] = true
+	used[arr.Primaries()[1]] = true
+	out := ASCII(arr, Marks{Used: used})
+	if strings.Count(out, string(GlyphUsed)) != 2 {
+		t.Errorf("used glyphs: %q", out)
+	}
+}
+
+func TestLegendMentionsAllGlyphs(t *testing.T) {
+	l := Legend()
+	for _, g := range []rune{GlyphPrimary, GlyphSpare, GlyphUsed, GlyphFaulty, GlyphFaultySpare, GlyphReplacement} {
+		if !strings.ContainsRune(l, g) {
+			t.Errorf("legend missing %q", g)
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	fs.MarkFaulty(arr.Primaries()[3])
+	plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(arr, Marks{Faults: fs, Plan: &plan}, 10)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if got := strings.Count(svg, "<polygon"); got != arr.NumCells() {
+		t.Errorf("%d polygons, want %d", got, arr.NumCells())
+	}
+	if plan.OK && len(plan.Assignments) > 0 && !strings.Contains(svg, "<line") {
+		t.Error("replacement arrows missing")
+	}
+	// Faulty primary red, replacement green.
+	if !strings.Contains(svg, "#d62728") {
+		t.Error("fault color missing")
+	}
+	if plan.OK && !strings.Contains(svg, "#2ca02c") {
+		t.Error("replacement color missing")
+	}
+}
+
+func TestSVGDefaultSize(t *testing.T) {
+	arr := buildArray(t)
+	if !strings.HasPrefix(SVG(arr, Marks{}, 0), "<svg") {
+		t.Error("zero size should fall back to default")
+	}
+}
+
+func TestSummaryContents(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	fs.MarkFaulty(arr.Primaries()[0])
+	plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(arr, Marks{Faults: fs, Plan: &plan})
+	for _, want := range []string{"DTMB(2,6)", "faults: 1 primary", "reconfiguration"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package router plans droplet routes on a defect-tolerant microfluidic
+// array. Routes respect microfluidic locality (adjacent-cell moves only),
+// avoid faulty cells, and can be restricted to primary cells (spares are
+// reserved for reconfiguration) or to an assay's allotted footprint.
+//
+// Single-droplet routing is breadth-first / A* shortest path. Multi-droplet
+// routing is prioritized time-expanded routing with stalls: droplets are
+// routed one at a time against a reservation table that encodes the fluidic
+// non-interference rules, the standard approach in DMFB synthesis flows.
+package router
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+)
+
+// Constraints restrict the cells a route may use.
+type Constraints struct {
+	// Faults marks unusable cells (nil = defect-free).
+	Faults *defects.FaultSet
+	// PrimariesOnly keeps routes off spare cells.
+	PrimariesOnly bool
+	// Allowed, when non-nil, restricts routes to cells with Allowed[id]
+	// true (e.g. an assay's footprint).
+	Allowed []bool
+	// Blocked marks additional unusable cells (e.g. other droplets' parked
+	// positions); nil allowed.
+	Blocked map[layout.CellID]bool
+}
+
+// usable reports whether a route may pass through the cell.
+func (c Constraints) usable(arr *layout.Array, id layout.CellID) bool {
+	if id < 0 || int(id) >= arr.NumCells() {
+		return false
+	}
+	if c.Faults != nil && c.Faults.IsFaulty(id) {
+		return false
+	}
+	if c.PrimariesOnly && arr.Cell(id).Role != layout.Primary {
+		return false
+	}
+	if c.Allowed != nil && !c.Allowed[id] {
+		return false
+	}
+	if c.Blocked != nil && c.Blocked[id] {
+		return false
+	}
+	return true
+}
+
+// ShortestPath returns a minimum-length path from src to dst inclusive,
+// breadth-first. It returns an error when no route exists.
+func ShortestPath(arr *layout.Array, src, dst layout.CellID, c Constraints) ([]layout.CellID, error) {
+	if !c.usable(arr, src) {
+		return nil, fmt.Errorf("router: source %d unusable", src)
+	}
+	if !c.usable(arr, dst) {
+		return nil, fmt.Errorf("router: destination %d unusable", dst)
+	}
+	if src == dst {
+		return []layout.CellID{src}, nil
+	}
+	prev := make(map[layout.CellID]layout.CellID, 64)
+	prev[src] = src
+	queue := []layout.CellID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range arr.Neighbors(cur) {
+			if _, seen := prev[nb]; seen || !c.usable(arr, nb) {
+				continue
+			}
+			prev[nb] = cur
+			if nb == dst {
+				return reconstruct(prev, src, dst), nil
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil, fmt.Errorf("router: no route from %d to %d", src, dst)
+}
+
+func reconstruct(prev map[layout.CellID]layout.CellID, src, dst layout.CellID) []layout.CellID {
+	var rev []layout.CellID
+	for cur := dst; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// aStarNode is a priority-queue entry.
+type aStarNode struct {
+	id    layout.CellID
+	f     int
+	index int
+}
+
+type aStarQueue []*aStarNode
+
+func (q aStarQueue) Len() int            { return len(q) }
+func (q aStarQueue) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q aStarQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *aStarQueue) Push(x interface{}) { n := x.(*aStarNode); n.index = len(*q); *q = append(*q, n) }
+func (q *aStarQueue) Pop() interface{} {
+	old := *q
+	n := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return n
+}
+
+// AStarPath returns a minimum-length path using A* with the hex-distance
+// heuristic. Identical results to ShortestPath in length; faster on large
+// arrays with distant endpoints.
+func AStarPath(arr *layout.Array, src, dst layout.CellID, c Constraints) ([]layout.CellID, error) {
+	if !c.usable(arr, src) {
+		return nil, fmt.Errorf("router: source %d unusable", src)
+	}
+	if !c.usable(arr, dst) {
+		return nil, fmt.Errorf("router: destination %d unusable", dst)
+	}
+	dstPos := arr.Cell(dst).Pos
+	h := func(id layout.CellID) int { return arr.Cell(id).Pos.Distance(dstPos) }
+
+	gScore := map[layout.CellID]int{src: 0}
+	prev := map[layout.CellID]layout.CellID{src: src}
+	open := &aStarQueue{}
+	heap.Init(open)
+	heap.Push(open, &aStarNode{id: src, f: h(src)})
+	closed := map[layout.CellID]bool{}
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*aStarNode)
+		if cur.id == dst {
+			return reconstruct(prev, src, dst), nil
+		}
+		if closed[cur.id] {
+			continue
+		}
+		closed[cur.id] = true
+		for _, nb := range arr.Neighbors(cur.id) {
+			if closed[nb] || !c.usable(arr, nb) {
+				continue
+			}
+			g := gScore[cur.id] + 1
+			if old, seen := gScore[nb]; seen && g >= old {
+				continue
+			}
+			gScore[nb] = g
+			prev[nb] = cur.id
+			heap.Push(open, &aStarNode{id: nb, f: g + h(nb)})
+		}
+	}
+	return nil, fmt.Errorf("router: no route from %d to %d", src, dst)
+}
+
+// Request is one droplet's routing demand for MultiRoute.
+type Request struct {
+	Name     string
+	Src, Dst layout.CellID
+}
+
+// Schedule is a time-expanded multi-droplet plan: Steps[t][i] is the cell of
+// droplet i at time t (droplets may hold). All droplets start at t = 0 on
+// their sources; a droplet that has arrived stays on its destination.
+type Schedule struct {
+	Requests []Request
+	Steps    [][]layout.CellID
+}
+
+// Makespan returns the number of cycles in the schedule.
+func (s Schedule) Makespan() int { return len(s.Steps) - 1 }
+
+// PathOf returns droplet i's trajectory over time.
+func (s Schedule) PathOf(i int) []layout.CellID {
+	out := make([]layout.CellID, len(s.Steps))
+	for t := range s.Steps {
+		out[t] = s.Steps[t][i]
+	}
+	return out
+}
+
+// conflictsAt reports whether droplet cells a (at time t) and b (same time)
+// violate fluidic spacing.
+func conflictsAt(arr *layout.Array, a, b layout.CellID) bool {
+	if a == b {
+		return true
+	}
+	for _, nb := range arr.Neighbors(a) {
+		if nb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// MultiRoute plans concurrent routes for several droplets with prioritized
+// time-expanded routing: requests are served in order, each against the
+// reservations of the earlier ones; a droplet may stall to let another pass.
+// maxExtra bounds the stall budget per droplet (0 picks a default).
+func MultiRoute(arr *layout.Array, reqs []Request, c Constraints, maxExtra int) (Schedule, error) {
+	if len(reqs) == 0 {
+		return Schedule{}, fmt.Errorf("router: no requests")
+	}
+	if maxExtra <= 0 {
+		maxExtra = 4 * len(reqs)
+	}
+	// Per-time occupied cells by earlier droplets. paths[i][t] = cell.
+	paths := make([][]layout.CellID, 0, len(reqs))
+	horizon := 0
+
+	for ri, req := range reqs {
+		if !c.usable(arr, req.Src) || !c.usable(arr, req.Dst) {
+			return Schedule{}, fmt.Errorf("router: request %q has unusable endpoints", req.Name)
+		}
+		// Time-expanded BFS over (cell, time); time capped by horizon of
+		// earlier paths plus shortest-path slack.
+		base, err := ShortestPath(arr, req.Src, req.Dst, c)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("router: request %q: %w", req.Name, err)
+		}
+		limit := horizon + len(base) + maxExtra
+
+		type node struct {
+			cell layout.CellID
+			t    int
+		}
+		start := node{req.Src, 0}
+		type visitKey struct {
+			cell layout.CellID
+			t    int
+		}
+		prev := map[visitKey]node{{req.Src, 0}: start}
+		queue := []node{start}
+		var goal *node
+		cellAt := func(pi, t int) layout.CellID {
+			p := paths[pi]
+			if t < len(p) {
+				return p[t]
+			}
+			return p[len(p)-1] // arrived droplets park on their destination
+		}
+		feasible := func(cell layout.CellID, t int, from layout.CellID) bool {
+			if !c.usable(arr, cell) {
+				return false
+			}
+			for pi := range paths {
+				// Static spacing at time t.
+				if conflictsAt(arr, cell, cellAt(pi, t)) {
+					return false
+				}
+				// Head-on swap between t-1 and t.
+				if t > 0 && cellAt(pi, t) == from && cellAt(pi, t-1) == cell {
+					return false
+				}
+			}
+			return true
+		}
+		if !feasible(req.Src, 0, req.Src) {
+			return Schedule{}, fmt.Errorf("router: request %q source blocked at t=0", req.Name)
+		}
+		for len(queue) > 0 && goal == nil {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.t > limit {
+				break
+			}
+			// Arrived and stays clear forever after? Require clearance
+			// against parked earlier droplets.
+			if cur.cell == req.Dst {
+				ok := true
+				for pi := range paths {
+					if conflictsAt(arr, cur.cell, cellAt(pi, len(paths[pi])+horizon)) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					g := cur
+					goal = &g
+					break
+				}
+			}
+			next := append([]layout.CellID{cur.cell}, arr.Neighbors(cur.cell)...)
+			for _, nb := range next {
+				key := visitKey{nb, cur.t + 1}
+				if _, seen := prev[key]; seen {
+					continue
+				}
+				if cur.t+1 > limit || !feasible(nb, cur.t+1, cur.cell) {
+					continue
+				}
+				prev[key] = cur
+				queue = append(queue, node{nb, cur.t + 1})
+			}
+		}
+		if goal == nil {
+			return Schedule{}, fmt.Errorf("router: request %q unroutable within %d cycles", req.Name, limit)
+		}
+		// Reconstruct trajectory.
+		traj := make([]layout.CellID, goal.t+1)
+		cur := *goal
+		for {
+			traj[cur.t] = cur.cell
+			if cur.t == 0 {
+				break
+			}
+			cur = prev[visitKey{cur.cell, cur.t}]
+		}
+		paths = append(paths, traj)
+		if len(traj) > horizon {
+			horizon = len(traj)
+		}
+		_ = ri
+	}
+
+	// Assemble the common timeline.
+	sched := Schedule{Requests: reqs, Steps: make([][]layout.CellID, horizon)}
+	for t := 0; t < horizon; t++ {
+		row := make([]layout.CellID, len(paths))
+		for i, p := range paths {
+			if t < len(p) {
+				row[i] = p[t]
+			} else {
+				row[i] = p[len(p)-1]
+			}
+		}
+		sched.Steps[t] = row
+	}
+	return sched, nil
+}
+
+// Validate checks a schedule: adjacency of consecutive positions, usable
+// cells, pairwise spacing at every time, no swaps, and correct endpoints.
+func (s Schedule) Validate(arr *layout.Array, c Constraints) error {
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("router: empty schedule")
+	}
+	for i, req := range s.Requests {
+		if s.Steps[0][i] != req.Src {
+			return fmt.Errorf("router: droplet %d starts at %d, want %d", i, s.Steps[0][i], req.Src)
+		}
+		if s.Steps[len(s.Steps)-1][i] != req.Dst {
+			return fmt.Errorf("router: droplet %d ends at %d, want %d", i, s.Steps[len(s.Steps)-1][i], req.Dst)
+		}
+	}
+	for t, row := range s.Steps {
+		for i, cell := range row {
+			if !c.usable(arr, cell) {
+				return fmt.Errorf("router: t=%d droplet %d on unusable cell %d", t, i, cell)
+			}
+			if t > 0 {
+				from := s.Steps[t-1][i]
+				if from != cell {
+					adjacent := false
+					for _, nb := range arr.Neighbors(from) {
+						if nb == cell {
+							adjacent = true
+							break
+						}
+					}
+					if !adjacent {
+						return fmt.Errorf("router: t=%d droplet %d jumps %d -> %d", t, i, from, cell)
+					}
+				}
+			}
+			for j := i + 1; j < len(row); j++ {
+				if conflictsAt(arr, cell, row[j]) {
+					return fmt.Errorf("router: t=%d droplets %d and %d violate spacing", t, i, j)
+				}
+				if t > 0 && s.Steps[t-1][i] == row[j] && s.Steps[t-1][j] == cell {
+					return fmt.Errorf("router: t=%d droplets %d and %d swap", t, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReachableFrom returns the cells reachable from src under the constraints,
+// sorted ascending — the connectivity check used by test planning.
+func ReachableFrom(arr *layout.Array, src layout.CellID, c Constraints) []layout.CellID {
+	if !c.usable(arr, src) {
+		return nil
+	}
+	seen := map[layout.CellID]bool{src: true}
+	queue := []layout.CellID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range arr.Neighbors(cur) {
+			if !seen[nb] && c.usable(arr, nb) {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	out := make([]layout.CellID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,296 @@
+// Package scheduler binds bioassay operations to chip resources over time.
+//
+// It implements resource-constrained list scheduling: operations become
+// ready when their dependencies finish, ready operations are started in
+// priority order (critical-path length, ties by ID) whenever a unit of
+// their resource class is free. This is the standard architectural-level
+// synthesis step for digital microfluidic biochips and is what lets several
+// bioassays share one microfluidic array concurrently — the setting the
+// paper's case study evaluates.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/bioassay"
+)
+
+// Resources declares how many concurrent units of each resource class the
+// chip provides (e.g. 2 mixers, 4 detectors, 4 dispensers).
+type Resources map[string]int
+
+// DefaultResources mirrors the case-study chip: four reservoirs, two
+// mixers, four optical detectors.
+func DefaultResources() Resources {
+	return Resources{"dispenser": 4, "mixer": 2, "detector": 4}
+}
+
+// Placed is one scheduled operation.
+type Placed struct {
+	Op    bioassay.Op
+	Start int
+	End   int
+	// Unit is the index of the resource unit used (0-based), -1 if the
+	// operation needs no resource.
+	Unit int
+}
+
+// Schedule is the result of list scheduling.
+type Schedule struct {
+	Placed   []Placed
+	Makespan int
+}
+
+// ByID returns the placement of the operation with the given ID.
+func (s Schedule) ByID(id int) (Placed, bool) {
+	for _, p := range s.Placed {
+		if p.Op.ID == id {
+			return p, true
+		}
+	}
+	return Placed{}, false
+}
+
+// List schedules the operations under the resource constraints and returns
+// the full placement. It returns an error on malformed DAGs, unknown
+// resources, or cyclic dependencies.
+func List(ops []bioassay.Op, res Resources) (Schedule, error) {
+	if err := bioassay.ValidateDAG(ops); err != nil {
+		return Schedule{}, err
+	}
+	byID := make(map[int]*bioassay.Op, len(ops))
+	for i := range ops {
+		byID[ops[i].ID] = &ops[i]
+	}
+	for _, op := range ops {
+		if op.Resource != "" {
+			if _, ok := res[op.Resource]; !ok {
+				return Schedule{}, fmt.Errorf("scheduler: op %d needs unknown resource %q", op.ID, op.Resource)
+			}
+		}
+	}
+
+	// Critical-path priority: longest path from the op to any sink.
+	memo := make(map[int]int, len(ops))
+	successors := make(map[int][]int, len(ops))
+	for _, op := range ops {
+		for _, d := range op.Deps {
+			successors[d] = append(successors[d], op.ID)
+		}
+	}
+	var cp func(id int, visiting map[int]bool) (int, error)
+	cp = func(id int, visiting map[int]bool) (int, error) {
+		if v, ok := memo[id]; ok {
+			return v, nil
+		}
+		if visiting[id] {
+			return 0, fmt.Errorf("scheduler: dependency cycle through op %d", id)
+		}
+		visiting[id] = true
+		best := 0
+		for _, s := range successors[id] {
+			v, err := cp(s, visiting)
+			if err != nil {
+				return 0, err
+			}
+			if v > best {
+				best = v
+			}
+		}
+		delete(visiting, id)
+		memo[id] = best + byID[id].Duration
+		return memo[id], nil
+	}
+	for _, op := range ops {
+		if _, err := cp(op.ID, map[int]bool{}); err != nil {
+			return Schedule{}, err
+		}
+	}
+
+	// Event-driven list scheduling.
+	remainingDeps := make(map[int]int, len(ops))
+	for _, op := range ops {
+		remainingDeps[op.ID] = len(op.Deps)
+	}
+	type unitState struct {
+		freeAt []int // per unit, next free time
+	}
+	units := make(map[string]*unitState, len(res))
+	for name, count := range res {
+		if count <= 0 {
+			return Schedule{}, fmt.Errorf("scheduler: resource %q has %d units", name, count)
+		}
+		units[name] = &unitState{freeAt: make([]int, count)}
+	}
+
+	ready := make([]int, 0, len(ops))
+	for _, op := range ops {
+		if remainingDeps[op.ID] == 0 {
+			ready = append(ready, op.ID)
+		}
+	}
+	depDone := make(map[int]int, len(ops)) // op ID -> earliest start from deps
+	placed := make([]Placed, 0, len(ops))
+	finishAt := make(map[int]int, len(ops))
+	scheduled := make(map[int]bool, len(ops))
+
+	for len(placed) < len(ops) {
+		if len(ready) == 0 {
+			return Schedule{}, fmt.Errorf("scheduler: deadlock with %d ops left", len(ops)-len(placed))
+		}
+		// Highest critical path first; ties by lowest ID for determinism.
+		sort.Slice(ready, func(i, j int) bool {
+			if memo[ready[i]] != memo[ready[j]] {
+				return memo[ready[i]] > memo[ready[j]]
+			}
+			return ready[i] < ready[j]
+		})
+		id := ready[0]
+		ready = ready[1:]
+		op := byID[id]
+
+		start := depDone[id]
+		unit := -1
+		if op.Resource != "" {
+			us := units[op.Resource]
+			// Earliest-available unit; start no earlier than dependencies.
+			bestUnit, bestTime := 0, us.freeAt[0]
+			for u, t := range us.freeAt {
+				if t < bestTime {
+					bestUnit, bestTime = u, t
+				}
+			}
+			if bestTime > start {
+				start = bestTime
+			}
+			us.freeAt[bestUnit] = start + op.Duration
+			unit = bestUnit
+		}
+		end := start + op.Duration
+		placed = append(placed, Placed{Op: *op, Start: start, End: end, Unit: unit})
+		finishAt[id] = end
+		scheduled[id] = true
+		for _, s := range successors[id] {
+			remainingDeps[s]--
+			if end > depDone[s] {
+				depDone[s] = end
+			}
+			if remainingDeps[s] == 0 && !scheduled[s] {
+				ready = append(ready, s)
+			}
+		}
+	}
+
+	makespan := 0
+	for _, p := range placed {
+		if p.End > makespan {
+			makespan = p.End
+		}
+	}
+	sort.Slice(placed, func(i, j int) bool {
+		if placed[i].Start != placed[j].Start {
+			return placed[i].Start < placed[j].Start
+		}
+		return placed[i].Op.ID < placed[j].Op.ID
+	})
+	return Schedule{Placed: placed, Makespan: makespan}, nil
+}
+
+// Validate checks schedule feasibility: dependency order and resource
+// capacity at every instant.
+func Validate(s Schedule, ops []bioassay.Op, res Resources) error {
+	place := make(map[int]Placed, len(s.Placed))
+	for _, p := range s.Placed {
+		place[p.Op.ID] = p
+	}
+	if len(place) != len(ops) {
+		return fmt.Errorf("scheduler: %d of %d ops placed", len(place), len(ops))
+	}
+	for _, op := range ops {
+		p := place[op.ID]
+		if p.End-p.Start != op.Duration {
+			return fmt.Errorf("scheduler: op %d duration %d placed as %d", op.ID, op.Duration, p.End-p.Start)
+		}
+		for _, d := range op.Deps {
+			if place[d].End > p.Start {
+				return fmt.Errorf("scheduler: op %d starts at %d before dep %d ends at %d",
+					op.ID, p.Start, d, place[d].End)
+			}
+		}
+	}
+	// Resource capacity via sweep over start/end events.
+	for name, capacity := range res {
+		type ev struct{ t, delta int }
+		var evs []ev
+		for _, p := range s.Placed {
+			if p.Op.Resource != name {
+				continue
+			}
+			evs = append(evs, ev{p.Start, 1}, ev{p.End, -1})
+		}
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].t != evs[j].t {
+				return evs[i].t < evs[j].t
+			}
+			return evs[i].delta < evs[j].delta // releases before acquisitions
+		})
+		inUse := 0
+		for _, e := range evs {
+			inUse += e.delta
+			if inUse > capacity {
+				return fmt.Errorf("scheduler: resource %q over capacity (%d > %d) at t=%d",
+					name, inUse, capacity, e.t)
+			}
+		}
+	}
+	return nil
+}
+
+// CriticalPathLength returns the unconstrained lower bound on the makespan.
+func CriticalPathLength(ops []bioassay.Op) (int, error) {
+	if err := bioassay.ValidateDAG(ops); err != nil {
+		return 0, err
+	}
+	finish := make(map[int]int, len(ops))
+	// ops are in a valid order only if deps precede; compute iteratively.
+	remaining := make([]bioassay.Op, len(ops))
+	copy(remaining, ops)
+	done := 0
+	for len(remaining) > 0 {
+		progressed := false
+		var next []bioassay.Op
+		for _, op := range remaining {
+			ok := true
+			start := 0
+			for _, d := range op.Deps {
+				f, computed := finish[d]
+				if !computed {
+					ok = false
+					break
+				}
+				if f > start {
+					start = f
+				}
+			}
+			if !ok {
+				next = append(next, op)
+				continue
+			}
+			finish[op.ID] = start + op.Duration
+			progressed = true
+			done++
+		}
+		if !progressed {
+			return 0, fmt.Errorf("scheduler: cyclic dependencies")
+		}
+		remaining = next
+	}
+	best := 0
+	for _, f := range finish {
+		if f > best {
+			best = f
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,193 @@
+package scheduler
+
+import (
+	"testing"
+
+	"dmfb/internal/bioassay"
+)
+
+func TestSingleAssaySchedule(t *testing.T) {
+	ops, _ := bioassay.Operations("a", 0)
+	s, err := List(ops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, ops, DefaultResources()); err != nil {
+		t.Fatal(err)
+	}
+	// With ample resources the makespan equals the critical path.
+	cp, err := CriticalPathLength(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != cp {
+		t.Errorf("makespan %d, want critical path %d", s.Makespan, cp)
+	}
+}
+
+func TestMultiplexedWorkloadSchedules(t *testing.T) {
+	ops := bioassay.MultiplexedWorkload()
+	res := DefaultResources()
+	s, err := List(ops, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s, ops, res); err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := CriticalPathLength(ops)
+	if s.Makespan < cp {
+		t.Errorf("makespan %d below critical path %d", s.Makespan, cp)
+	}
+	// 8 assays on 2 mixers: at least 4 mixing waves of 16 cycles each.
+	if s.Makespan < 4*16 {
+		t.Errorf("makespan %d implausibly small", s.Makespan)
+	}
+}
+
+func TestResourceContentionSerializes(t *testing.T) {
+	ops := bioassay.MultiplexedWorkload()
+	tight := Resources{"dispenser": 1, "mixer": 1, "detector": 1}
+	sTight, err := List(ops, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(sTight, ops, tight); err != nil {
+		t.Fatal(err)
+	}
+	ample := Resources{"dispenser": 16, "mixer": 8, "detector": 8}
+	sAmple, err := List(ops, ample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTight.Makespan <= sAmple.Makespan {
+		t.Errorf("tight resources (%d) should be slower than ample (%d)",
+			sTight.Makespan, sAmple.Makespan)
+	}
+	// One mixer forces 8 x 16 cycles of mixing alone.
+	if sTight.Makespan < 8*16 {
+		t.Errorf("single-mixer makespan %d too small", sTight.Makespan)
+	}
+}
+
+func TestMoreMixersHelpMonotonically(t *testing.T) {
+	ops := bioassay.MultiplexedWorkload()
+	prev := 1 << 30
+	for mixers := 1; mixers <= 4; mixers++ {
+		res := Resources{"dispenser": 4, "mixer": mixers, "detector": 4}
+		s, err := List(ops, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan > prev {
+			t.Errorf("%d mixers gave makespan %d > %d with fewer", mixers, s.Makespan, prev)
+		}
+		prev = s.Makespan
+	}
+}
+
+func TestUnknownResourceRejected(t *testing.T) {
+	ops := []bioassay.Op{{ID: 0, Kind: bioassay.OpMix, Duration: 5, Resource: "centrifuge"}}
+	if _, err := List(ops, DefaultResources()); err == nil {
+		t.Error("unknown resource accepted")
+	}
+}
+
+func TestZeroCapacityRejected(t *testing.T) {
+	ops := []bioassay.Op{{ID: 0, Kind: bioassay.OpMix, Duration: 5, Resource: "mixer"}}
+	if _, err := List(ops, Resources{"mixer": 0}); err == nil {
+		t.Error("zero-capacity resource accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	ops := []bioassay.Op{
+		{ID: 0, Duration: 1, Deps: []int{1}},
+		{ID: 1, Duration: 1, Deps: []int{0}},
+	}
+	if _, err := List(ops, DefaultResources()); err == nil {
+		t.Error("cyclic DAG accepted")
+	}
+	if _, err := CriticalPathLength(ops); err == nil {
+		t.Error("cyclic DAG accepted by CriticalPathLength")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	ops := bioassay.MultiplexedWorkload()
+	a, err := List(ops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := List(ops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || len(a.Placed) != len(b.Placed) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range a.Placed {
+		pa, pb := a.Placed[i], b.Placed[i]
+		if pa.Op.ID != pb.Op.ID || pa.Start != pb.Start || pa.End != pb.End || pa.Unit != pb.Unit {
+			t.Fatalf("placement %d differs: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	ops, _ := bioassay.Operations("a", 0)
+	s, err := List(ops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ByID(0); !ok {
+		t.Error("ByID(0) missing")
+	}
+	if _, ok := s.ByID(999); ok {
+		t.Error("ByID(999) should miss")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	ops, _ := bioassay.Operations("a", 0)
+	s, err := List(ops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: start detect before its transport dependency ends.
+	bad := s
+	bad.Placed = append([]Placed(nil), s.Placed...)
+	for i, p := range bad.Placed {
+		if p.Op.Kind == bioassay.OpDetect {
+			bad.Placed[i].Start = 0
+			bad.Placed[i].End = p.Op.Duration
+		}
+	}
+	if err := Validate(bad, ops, DefaultResources()); err == nil {
+		t.Error("dependency violation accepted")
+	}
+
+	// Over-capacity: schedule all mixes of the multiplexed workload at t=0
+	// with one mixer.
+	mops := bioassay.MultiplexedWorkload()
+	ms, err := List(mops, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := ms
+	over.Placed = append([]Placed(nil), ms.Placed...)
+	if err := Validate(over, mops, Resources{"dispenser": 1, "mixer": 1, "detector": 1}); err == nil {
+		t.Error("capacity violation accepted")
+	}
+}
+
+func BenchmarkListMultiplexed(b *testing.B) {
+	ops := bioassay.MultiplexedWorkload()
+	res := DefaultResources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := List(ops, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the small statistical toolkit shared by the yield
+// simulators: deterministic PRNG stream splitting, summary statistics,
+// Wilson score confidence intervals for Monte-Carlo success proportions, and
+// series/table containers used by the experiment drivers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// SplitMix64 advances and mixes a 64-bit state; used to derive independent
+// per-worker PRNG seeds from one experiment seed so parallel Monte-Carlo
+// remains reproducible regardless of worker count.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SeedStream returns n deterministic, well-separated seeds derived from seed.
+func SeedStream(seed int64, n int) []int64 {
+	state := uint64(seed)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(SplitMix64(&state))
+	}
+	return out
+}
+
+// NewRand returns a rand.Rand seeded with the given seed. Centralizing the
+// constructor keeps every simulation deterministic and greppable.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Proportion is a Monte-Carlo success proportion with its sample size.
+type Proportion struct {
+	Successes, Trials int
+}
+
+// Value returns successes/trials (0 when trials == 0).
+func (p Proportion) Value() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// z95 is the normal quantile for a two-sided 95% interval.
+const z95 = 1.959963984540054
+
+// Wilson95 returns the Wilson score 95% confidence interval for the
+// proportion. Unlike the normal approximation it behaves sensibly at 0 and 1,
+// where Monte-Carlo yield estimates often sit.
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	phat := p.Value()
+	z := z95
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Contains reports whether the Wilson 95% interval contains v.
+func (p Proportion) Contains(v float64) bool {
+	lo, hi := p.Wilson95()
+	return v >= lo && v <= hi
+}
+
+// Series is a named (x, y) sequence, one curve of a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value at the first x equal (within 1e-9) to x; ok
+// reports whether the point exists.
+func (s *Series) YAt(x float64) (y float64, ok bool) {
+	for i, xv := range s.X {
+		if math.Abs(xv-x) < 1e-9 {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Table is a printable grid of rows, one paper table or figure data block.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns, suitable for terminal
+// output and EXPERIMENTS.md blocks.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; callers keep
+// cells free of commas).
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

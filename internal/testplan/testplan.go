@@ -1,0 +1,261 @@
+// Package testplan implements the test methodology the paper builds on
+// (refs [10, 11]): stimulus droplets containing a conducting fluid (e.g. a
+// KCl solution) are dispensed from a source reservoir and driven across the
+// array; a droplet that completes its route in the expected time proves the
+// route fault-free, while a stuck droplet reveals a fault on it. Adaptive
+// binary search over route prefixes localizes faulty cells, and the
+// localization output feeds the reconfiguration engine.
+//
+// The planner produces coverage walks (every cell visited at least once,
+// consecutive cells adjacent, starting at the source) and the session
+// simulates test passes against a ground-truth fault set that the diagnosis
+// procedure can only observe through droplet arrivals.
+package testplan
+
+import (
+	"fmt"
+	"sort"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+)
+
+// Plan is a test stimulus route: a walk over the array in which consecutive
+// cells are adjacent. Cells may repeat (the droplet may backtrack).
+type Plan struct {
+	Path []layout.CellID
+}
+
+// Covers returns the distinct cells on the path, ascending.
+func (p Plan) Covers() []layout.CellID {
+	seen := make(map[layout.CellID]bool, len(p.Path))
+	var out []layout.CellID
+	for _, c := range p.Path {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks the adjacency invariant.
+func (p Plan) Validate(arr *layout.Array) error {
+	if len(p.Path) == 0 {
+		return fmt.Errorf("testplan: empty path")
+	}
+	for i := 1; i < len(p.Path); i++ {
+		a, b := p.Path[i-1], p.Path[i]
+		if a == b {
+			continue
+		}
+		adjacent := false
+		for _, nb := range arr.Neighbors(a) {
+			if nb == b {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			return fmt.Errorf("testplan: step %d jumps %d -> %d", i, a, b)
+		}
+	}
+	return nil
+}
+
+// CoverageWalk builds a walk from the source visiting every cell of the
+// array at least once by depth-first traversal with backtracking (each tree
+// edge is walked at most twice). It requires a connected array.
+func CoverageWalk(arr *layout.Array, source layout.CellID) (Plan, error) {
+	if arr.NumCells() == 0 {
+		return Plan{}, fmt.Errorf("testplan: empty array")
+	}
+	if source < 0 || int(source) >= arr.NumCells() {
+		return Plan{}, fmt.Errorf("testplan: source %d out of range", source)
+	}
+	visited := make([]bool, arr.NumCells())
+	var path []layout.CellID
+	var dfs func(id layout.CellID)
+	dfs = func(id layout.CellID) {
+		visited[id] = true
+		path = append(path, id)
+		nbrs := append([]layout.CellID(nil), arr.Neighbors(id)...)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nb := range nbrs {
+			if !visited[nb] {
+				dfs(nb)
+				path = append(path, id) // backtrack
+			}
+		}
+	}
+	dfs(source)
+	for i, v := range visited {
+		if !v {
+			return Plan{}, fmt.Errorf("testplan: array disconnected at cell %d", i)
+		}
+	}
+	return Plan{Path: path}, nil
+}
+
+// Diagnosis is the outcome of a test session.
+type Diagnosis struct {
+	// Faulty lists the cells the session identified as faulty, ascending.
+	Faulty []layout.CellID
+	// Unreachable lists cells that could not be tested because every route
+	// from the source passes through identified faulty cells.
+	Unreachable []layout.CellID
+	// TestDroplets counts the stimulus droplets consumed.
+	TestDroplets int
+	// Complete reports whether every cell was either verified or diagnosed
+	// (no unreachable cells).
+	Complete bool
+}
+
+// Session runs adaptive fault localization against a hidden ground truth.
+type Session struct {
+	arr    *layout.Array
+	truth  *defects.FaultSet
+	source layout.CellID
+	tests  int
+}
+
+// NewSession prepares a test session. Stimulus droplets enter at source;
+// truth is the hidden fault state the procedure must discover.
+func NewSession(arr *layout.Array, truth *defects.FaultSet, source layout.CellID) (*Session, error) {
+	if truth == nil {
+		return nil, fmt.Errorf("testplan: nil ground truth")
+	}
+	if truth.NumCells() != arr.NumCells() {
+		return nil, fmt.Errorf("testplan: fault set sized %d, array %d", truth.NumCells(), arr.NumCells())
+	}
+	if source < 0 || int(source) >= arr.NumCells() {
+		return nil, fmt.Errorf("testplan: source %d out of range", source)
+	}
+	return &Session{arr: arr, truth: truth, source: source}, nil
+}
+
+// TestDropletsUsed returns the number of stimulus droplets released so far.
+func (s *Session) TestDropletsUsed() int { return s.tests }
+
+// traverse releases a stimulus droplet along path[0..k] (inclusive) and
+// reports whether it arrives — i.e. whether every cell of the prefix is
+// fault-free. This is the only ground-truth access the procedure has.
+func (s *Session) traverse(path []layout.CellID, k int) bool {
+	s.tests++
+	for i := 0; i <= k && i < len(path); i++ {
+		if s.truth.IsFaulty(path[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// locateFirst finds the index of the first faulty cell within path[lo..hi]
+// (caller guarantees a fault exists at or before hi) using binary search
+// over prefix traversals: O(log n) droplets per fault.
+func (s *Session) locateFirst(path []layout.CellID, lo, hi int) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.traverse(path, mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Run performs complete adaptive localization: it walks coverage plans from
+// the source, binary-searches each failure, masks the found fault, and
+// re-plans around all known faults until every cell still reachable from
+// the source is verified.
+func (s *Session) Run() (Diagnosis, error) {
+	var diag Diagnosis
+	known := make(map[layout.CellID]bool)    // diagnosed faulty
+	verified := make(map[layout.CellID]bool) // proven fault-free
+
+	for {
+		plan, reach := s.planAround(known)
+		if plan == nil {
+			break // source itself diagnosed faulty
+		}
+		_ = reach // cells outside reach stay unverified and classify below
+		path := plan.Path
+		if s.traverse(path, len(path)-1) {
+			for _, c := range path {
+				verified[c] = true
+			}
+			break
+		}
+		idx := s.locateFirst(path, 0, len(path)-1)
+		known[path[idx]] = true
+		for i := 0; i < idx; i++ {
+			verified[path[i]] = true
+		}
+	}
+
+	// Classify the leftovers.
+	for i := 0; i < s.arr.NumCells(); i++ {
+		id := layout.CellID(i)
+		if !known[id] && !verified[id] {
+			diag.Unreachable = append(diag.Unreachable, id)
+		}
+	}
+	for id := range known {
+		diag.Faulty = append(diag.Faulty, id)
+	}
+	sort.Slice(diag.Faulty, func(i, j int) bool { return diag.Faulty[i] < diag.Faulty[j] })
+	diag.TestDroplets = s.tests
+	diag.Complete = len(diag.Unreachable) == 0
+	return diag, nil
+}
+
+// planAround builds a coverage walk from the source over cells not yet
+// diagnosed faulty. It returns nil when the source itself is diagnosed, and
+// the reachability set otherwise.
+func (s *Session) planAround(known map[layout.CellID]bool) (*Plan, map[layout.CellID]bool) {
+	if known[s.source] {
+		return nil, nil
+	}
+	visited := make(map[layout.CellID]bool)
+	var path []layout.CellID
+	var dfs func(id layout.CellID)
+	dfs = func(id layout.CellID) {
+		visited[id] = true
+		path = append(path, id)
+		nbrs := append([]layout.CellID(nil), s.arr.Neighbors(id)...)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nb := range nbrs {
+			if !visited[nb] && !known[nb] {
+				dfs(nb)
+				path = append(path, id)
+			}
+		}
+	}
+	dfs(s.source)
+	return &Plan{Path: path}, visited
+}
+
+// VerifyDiagnosis cross-checks a diagnosis against the ground truth: every
+// reported fault must be real, and every real fault must be either reported
+// or unreachable. Returns nil when the diagnosis is sound.
+func VerifyDiagnosis(arr *layout.Array, truth *defects.FaultSet, diag Diagnosis) error {
+	reported := make(map[layout.CellID]bool, len(diag.Faulty))
+	for _, id := range diag.Faulty {
+		if !truth.IsFaulty(id) {
+			return fmt.Errorf("testplan: false positive at cell %d", id)
+		}
+		reported[id] = true
+	}
+	unreachable := make(map[layout.CellID]bool, len(diag.Unreachable))
+	for _, id := range diag.Unreachable {
+		unreachable[id] = true
+	}
+	for _, id := range truth.FaultyCells() {
+		if !reported[id] && !unreachable[id] {
+			return fmt.Errorf("testplan: missed fault at cell %d", id)
+		}
+	}
+	return nil
+}

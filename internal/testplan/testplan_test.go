@@ -1,0 +1,240 @@
+package testplan
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+)
+
+func buildArray(t testing.TB) *layout.Array {
+	t.Helper()
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func TestCoverageWalkVisitsEveryCell(t *testing.T) {
+	arr := buildArray(t)
+	plan, err := CoverageWalk(arr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(arr); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Covers()); got != arr.NumCells() {
+		t.Errorf("covered %d of %d cells", got, arr.NumCells())
+	}
+	// DFS walk length is bounded by 2·cells.
+	if len(plan.Path) > 2*arr.NumCells() {
+		t.Errorf("walk length %d exceeds 2n", len(plan.Path))
+	}
+}
+
+func TestCoverageWalkValidation(t *testing.T) {
+	arr := buildArray(t)
+	if _, err := CoverageWalk(arr, -1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := CoverageWalk(arr, layout.CellID(arr.NumCells())); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestPlanValidateRejectsJumps(t *testing.T) {
+	arr := buildArray(t)
+	bad := Plan{Path: []layout.CellID{0, layout.CellID(arr.NumCells() - 1)}}
+	if err := bad.Validate(arr); err == nil {
+		t.Error("jumping plan accepted")
+	}
+	if err := (Plan{}).Validate(arr); err == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	if _, err := NewSession(arr, nil, 0); err == nil {
+		t.Error("nil truth accepted")
+	}
+	if _, err := NewSession(arr, defects.NewFaultSet(3), 0); err == nil {
+		t.Error("mismatched truth accepted")
+	}
+	if _, err := NewSession(arr, fs, -1); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestCleanArrayOneDroplet(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	s, err := NewSession(arr, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Faulty) != 0 || !diag.Complete {
+		t.Errorf("clean chip diagnosis %+v", diag)
+	}
+	if diag.TestDroplets != 1 {
+		t.Errorf("clean chip should need one droplet, used %d", diag.TestDroplets)
+	}
+	if err := VerifyDiagnosis(arr, fs, diag); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleFaultLocalized(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	target := layout.CellID(arr.NumCells() / 2)
+	fs.MarkFaulty(target)
+	s, err := NewSession(arr, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Faulty) != 1 || diag.Faulty[0] != target {
+		t.Fatalf("diagnosis %v, want [%d]", diag.Faulty, target)
+	}
+	if err := VerifyDiagnosis(arr, fs, diag); err != nil {
+		t.Error(err)
+	}
+	// Binary search: O(log path) droplets, far fewer than one per cell.
+	if diag.TestDroplets > 25 {
+		t.Errorf("used %d droplets for one fault", diag.TestDroplets)
+	}
+}
+
+func TestFaultySourceMakesArrayUntestable(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	fs.MarkFaulty(0)
+	s, err := NewSession(arr, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Faulty) != 1 || diag.Faulty[0] != 0 {
+		t.Errorf("source fault not diagnosed: %v", diag.Faulty)
+	}
+	if diag.Complete {
+		t.Error("chip with dead source cannot be completely tested")
+	}
+	if len(diag.Unreachable) != arr.NumCells()-1 {
+		t.Errorf("%d unreachable, want %d", len(diag.Unreachable), arr.NumCells()-1)
+	}
+	if err := VerifyDiagnosis(arr, fs, diag); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomFaultPatternsAlwaysSoundDiagnosis(t *testing.T) {
+	arr := buildArray(t)
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		fs := defects.NewFaultSet(arr.NumCells())
+		m := rng.Intn(12)
+		for i := 0; i < m; i++ {
+			fs.MarkFaulty(layout.CellID(rng.Intn(arr.NumCells())))
+		}
+		// Keep the source alive in most trials so the walk makes progress.
+		s, err := NewSession(arr, fs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyDiagnosis(arr, fs, diag); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Droplet budget: one full pass plus O(log n) per fault.
+		budget := 2 + (fs.Count()+1)*20
+		if diag.TestDroplets > budget {
+			t.Errorf("trial %d: %d droplets for %d faults", trial, diag.TestDroplets, fs.Count())
+		}
+	}
+}
+
+func TestDiagnosisFeedsReconfiguration(t *testing.T) {
+	// End-to-end: diagnose, then check the diagnosed set equals ground
+	// truth when everything is reachable.
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	for _, id := range []layout.CellID{5, 17, 44} {
+		fs.MarkFaulty(id)
+	}
+	s, err := NewSession(arr, fs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Complete {
+		t.Fatalf("expected complete diagnosis, unreachable: %v", diag.Unreachable)
+	}
+	if len(diag.Faulty) != 3 {
+		t.Errorf("diagnosed %v", diag.Faulty)
+	}
+	if err := VerifyDiagnosis(arr, fs, diag); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDiagnosisCatchesLies(t *testing.T) {
+	arr := buildArray(t)
+	fs := defects.NewFaultSet(arr.NumCells())
+	fs.MarkFaulty(9)
+	// False positive.
+	if err := VerifyDiagnosis(arr, fs, Diagnosis{Faulty: []layout.CellID{3}}); err == nil {
+		t.Error("false positive accepted")
+	}
+	// Missed fault.
+	if err := VerifyDiagnosis(arr, fs, Diagnosis{}); err == nil {
+		t.Error("missed fault accepted")
+	}
+	// Missed but unreachable is fine.
+	if err := VerifyDiagnosis(arr, fs, Diagnosis{Unreachable: []layout.CellID{9}}); err != nil {
+		t.Errorf("unreachable fault rejected: %v", err)
+	}
+}
+
+func BenchmarkDiagnose10Faults(b *testing.B) {
+	arr, err := layout.BuildParallelogram(layout.DTMB26(), 14, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := defects.NewInjector(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := in.FixedCount(arr, 10, defects.AllCells, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewSession(arr, fs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package yieldsim estimates the manufacturing yield of defect-tolerant
+// microfluidic arrays, reproducing the analysis of paper §6.
+//
+// Two estimators are provided. For DTMB(1,6), whose spare assignment is
+// unique, the closed-form cluster model applies: the array decomposes into
+// clusters of one spare plus its six primaries, a cluster survives iff at
+// most one of its seven cells fails, and clusters fail independently.
+// For the higher-redundancy designs the spare assignment is a matching
+// problem, so yield comes from Monte-Carlo simulation: in each run every
+// cell fails i.i.d. with probability q = 1−p, and the run succeeds iff local
+// reconfiguration (maximum bipartite matching) repairs every faulty primary.
+//
+// The effective yield EY = Y·n/N = Y/(1+RR) weighs yield against the area
+// overhead of redundancy (paper Fig. 10).
+package yieldsim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+	"dmfb/internal/stats"
+)
+
+// NoRedundancy returns the yield p^n of an array whose n working cells have
+// no spares: a single fault discards the chip.
+func NoRedundancy(p float64, n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return math.Pow(p, float64(n))
+}
+
+// ClusterYieldDTMB16 returns the closed-form yield of a DTMB(1,6) array with
+// n primary cells (paper §6): Yc = p^7 + 7·p^6·(1−p), Y = Yc^(n/6).
+func ClusterYieldDTMB16(p float64, n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	yc := math.Pow(p, 7) + 7*math.Pow(p, 6)*(1-p)
+	return math.Pow(yc, float64(n)/6.0)
+}
+
+// EffectiveYield returns EY = Y/(1+RR), the paper's yield-per-area metric.
+func EffectiveYield(y, rr float64) float64 { return y / (1 + rr) }
+
+// EffectiveYieldCells returns EY = Y·n/N given explicit cell counts.
+func EffectiveYieldCells(y float64, nPrimary, nTotal int) float64 {
+	if nTotal == 0 {
+		return 0
+	}
+	return y * float64(nPrimary) / float64(nTotal)
+}
+
+// Result is a Monte-Carlo yield estimate.
+type Result struct {
+	// Yield is the estimated success proportion.
+	Yield float64
+	// Runs and Successes give the raw counts.
+	Runs, Successes int
+	// CILo and CIHi bound the Wilson 95% confidence interval.
+	CILo, CIHi float64
+}
+
+func newResult(successes, runs int) Result {
+	prop := stats.Proportion{Successes: successes, Trials: runs}
+	lo, hi := prop.Wilson95()
+	return Result{Yield: prop.Value(), Runs: runs, Successes: successes, CILo: lo, CIHi: hi}
+}
+
+// String formats the estimate with its confidence interval.
+func (r Result) String() string {
+	return fmt.Sprintf("%.4f (95%% CI %.4f–%.4f, %d/%d runs)",
+		r.Yield, r.CILo, r.CIHi, r.Successes, r.Runs)
+}
+
+// MonteCarlo runs reconfiguration-feasibility yield simulations. The zero
+// value is not usable; use NewMonteCarlo.
+type MonteCarlo struct {
+	// Runs per estimate; the paper uses 10000.
+	Runs int
+	// Seed makes every estimate reproducible.
+	Seed int64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Scope and Used configure the repair criterion (default: RepairAll).
+	Scope reconfig.Scope
+	Used  []bool
+}
+
+// NewMonteCarlo returns a simulator with the paper's defaults (10000 runs).
+func NewMonteCarlo(seed int64) *MonteCarlo {
+	return &MonteCarlo{Runs: 10000, Seed: seed}
+}
+
+// workerCount resolves the worker pool size.
+func (mc *MonteCarlo) workerCount() int {
+	if mc.Workers > 0 {
+		return mc.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// trial is one simulation task: inject faults, attempt reconfiguration.
+type trialFunc func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error)
+
+// run executes mc.Runs independent trials across the worker pool and counts
+// successes. Each worker owns a PRNG stream derived from mc.Seed, so results
+// do not depend on scheduling or worker count given a fixed worker total.
+func (mc *MonteCarlo) run(numCells int, trial trialFunc) (Result, error) {
+	if mc.Runs <= 0 {
+		return Result{}, fmt.Errorf("yieldsim: Runs must be positive, got %d", mc.Runs)
+	}
+	workers := mc.workerCount()
+	if workers > mc.Runs {
+		workers = mc.Runs
+	}
+	seeds := stats.SeedStream(mc.Seed, workers)
+	// Distribute runs evenly; worker w performs base(+1) runs.
+	base := mc.Runs / workers
+	extra := mc.Runs % workers
+
+	var wg sync.WaitGroup
+	successCh := make(chan int, workers)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		runs := base
+		if w < extra {
+			runs++
+		}
+		if runs == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(seed int64, runs int) {
+			defer wg.Done()
+			in := defects.NewInjector(seed)
+			fs := defects.NewFaultSet(numCells)
+			successes := 0
+			for i := 0; i < runs; i++ {
+				var ok bool
+				var err error
+				fs, ok, err = trial(in, fs)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if ok {
+					successes++
+				}
+			}
+			successCh <- successes
+		}(seeds[w], runs)
+	}
+	wg.Wait()
+	close(successCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	total := 0
+	for s := range successCh {
+		total += s
+	}
+	return newResult(total, mc.Runs), nil
+}
+
+// reconfigure attempts local reconfiguration under the simulator's scope.
+func (mc *MonteCarlo) reconfigure(arr *layout.Array, fs *defects.FaultSet) (bool, error) {
+	plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{
+		Scope: mc.Scope,
+		Used:  mc.Used,
+	})
+	if err != nil {
+		return false, err
+	}
+	return plan.OK, nil
+}
+
+// Yield estimates the yield of the array at cell survival probability p:
+// every cell (primary and spare) fails independently with probability 1−p,
+// and the chip survives iff local reconfiguration repairs all faulty
+// primaries.
+func (mc *MonteCarlo) Yield(arr *layout.Array, p float64) (Result, error) {
+	if p < 0 || p > 1 {
+		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+	}
+	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs = in.Bernoulli(arr, p, fs)
+		ok, err := mc.reconfigure(arr, fs)
+		return fs, ok, err
+	})
+}
+
+// YieldFixedFaults estimates the yield of the array when exactly m cells
+// (drawn uniformly from the domain) fail — the case-study experiment of
+// paper Fig. 13.
+func (mc *MonteCarlo) YieldFixedFaults(arr *layout.Array, m int, domain defects.Domain) (Result, error) {
+	if m < 0 {
+		return Result{}, fmt.Errorf("yieldsim: negative fault count %d", m)
+	}
+	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs, err := in.FixedCount(arr, m, domain, fs)
+		if err != nil {
+			return fs, false, err
+		}
+		ok, err := mc.reconfigure(arr, fs)
+		return fs, ok, err
+	})
+}
+
+// NoRedundancyMC estimates the no-redundancy yield by simulation (all n
+// working cells must survive). It exists to cross-check NoRedundancy.
+func (mc *MonteCarlo) NoRedundancyMC(arr *layout.Array, p float64) (Result, error) {
+	if p < 0 || p > 1 {
+		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+	}
+	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs = in.Bernoulli(arr, p, fs)
+		return fs, len(fs.FaultyPrimaries(arr)) == 0, nil
+	})
+}
+
+// SweepPoint is one (p, yield) sample of a sweep.
+type SweepPoint struct {
+	P      float64
+	Result Result
+}
+
+// SweepYield estimates yield across the given survival probabilities,
+// returning one point per p.
+func (mc *MonteCarlo) SweepYield(arr *layout.Array, ps []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(ps))
+	for _, p := range ps {
+		res, err := mc.Yield(arr, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{P: p, Result: res})
+	}
+	return out, nil
+}
+
+// SweepSeries converts sweep points to a stats.Series for tabulation.
+func SweepSeries(name string, pts []SweepPoint) stats.Series {
+	s := stats.Series{Name: name}
+	for _, pt := range pts {
+		s.Append(pt.P, pt.Result.Yield)
+	}
+	return s
+}
