@@ -1,0 +1,58 @@
+// Command dtmb-serve runs the yield-analysis HTTP service: Monte-Carlo
+// yield estimation, design recommendation, and reconfiguration-plan queries
+// over the DTMB defect-tolerance machinery, with an LRU result cache and
+// single-flight deduplication of concurrent identical requests.
+//
+// Examples:
+//
+//	dtmb-serve -addr :8080
+//	curl -s localhost:8080/v1/yield -d '{"design":"DTMB(2,6)","n_primary":100,"p":0.95,"runs":2000,"seed":7}'
+//	curl -s localhost:8080/v1/recommend -d '{"p":0.95,"n_primary":100,"runs":2000,"seed":7}'
+//	curl -s localhost:8080/v1/reconfigure -d '{"design":"dtmb26","n_primary":100,"faulty_cells":[3,17]}'
+//	curl -s localhost:8080/v1/stats
+//
+// See DESIGN.md for the full API contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmfb/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache-size", 1024, "LRU result-cache capacity (entries)")
+		defaultRuns   = flag.Int("default-runs", 10000, "Monte-Carlo runs when a request omits runs")
+		workers       = flag.Int("workers", 0, "goroutines per simulation (0 = GOMAXPROCS); does not affect results")
+		chunkSize     = flag.Int("chunk-size", 0, "Monte-Carlo trials per work unit (0 = yieldsim default); part of the determinism contract")
+		maxConcurrent = flag.Int("max-concurrent", 0, "simulations admitted at once (0 = 2; each simulation already parallelizes across cores)")
+		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := service.NewServer(service.ServerConfig{
+		Addr: *addr,
+		Engine: service.EngineConfig{
+			CacheSize:     *cacheSize,
+			DefaultRuns:   *defaultRuns,
+			Workers:       *workers,
+			ChunkSize:     *chunkSize,
+			MaxConcurrent: *maxConcurrent,
+		},
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-serve:", err)
+		os.Exit(1)
+	}
+}

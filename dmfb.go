@@ -18,6 +18,19 @@
 //	chip.InjectBernoulli(1, 0.95)           // manufacturing defects (p = cell survival)
 //	plan, _ := chip.Reconfigure()           // local reconfiguration via matching
 //	fmt.Println(plan.OK)                    // chip shippable?
+//
+// Beyond the library, the repository ships one-shot CLIs under cmd/
+// (dtmb-yield, dtmb-experiments, dtmb-layout, ...) and an online serving
+// layer: cmd/dtmb-serve exposes yield simulation (POST /v1/yield), design
+// recommendation (POST /v1/recommend) and reconfiguration-plan queries
+// (POST /v1/reconfigure) over HTTP/JSON, backed by internal/service — a
+// batched Monte-Carlo engine with a bounded worker pool, an LRU result
+// cache, and single-flight deduplication of concurrent identical requests.
+// The Monte-Carlo kernel is chunk-seeded, so estimates are deterministic in
+// (seed, runs, chunk size) regardless of parallelism; identical requests are
+// therefore cacheable and a served answer equals the library answer for the
+// same parameters. DESIGN.md documents the architecture and the full HTTP
+// API contract.
 package dmfb
 
 import (

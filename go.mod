@@ -1,0 +1,3 @@
+module dmfb
+
+go 1.24

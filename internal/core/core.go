@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -258,15 +259,41 @@ type YieldAnalysis struct {
 	NoRedundancy   float64
 }
 
+// SimParams configures the Monte-Carlo simulation behind a yield analysis.
+// The zero value means the paper's defaults: 10000 runs, seed 0, GOMAXPROCS
+// workers, and yieldsim.DefaultChunkSize chunks. Because chunked seeding
+// makes estimates independent of Workers, two analyses with equal (Runs,
+// Seed, ChunkSize) agree exactly regardless of parallelism.
+type SimParams struct {
+	Runs      int
+	Seed      int64
+	Workers   int
+	ChunkSize int
+}
+
+// monteCarlo builds the simulator for these parameters.
+func (sp SimParams) monteCarlo() *yieldsim.MonteCarlo {
+	mc := yieldsim.NewMonteCarlo(sp.Seed)
+	if sp.Runs > 0 {
+		mc.Runs = sp.Runs
+	}
+	mc.Workers = sp.Workers
+	mc.ChunkSize = sp.ChunkSize
+	return mc
+}
+
 // AnalyzeYield estimates yield and effective yield of the chip's design at
 // survival probability p by Monte-Carlo with the given run count and seed,
 // alongside the no-redundancy baseline for the same primary count.
 func (b *Biochip) AnalyzeYield(p float64, runs int, seed int64) (YieldAnalysis, error) {
-	mc := yieldsim.NewMonteCarlo(seed)
-	if runs > 0 {
-		mc.Runs = runs
-	}
-	res, err := mc.Yield(b.arr, p)
+	return b.AnalyzeYieldContext(context.Background(), p, SimParams{Runs: runs, Seed: seed})
+}
+
+// AnalyzeYieldContext is AnalyzeYield with cancellation and full simulation
+// parameters.
+func (b *Biochip) AnalyzeYieldContext(ctx context.Context, p float64, sp SimParams) (YieldAnalysis, error) {
+	mc := sp.monteCarlo()
+	res, err := mc.YieldContext(ctx, b.arr, p)
 	if err != nil {
 		return YieldAnalysis{}, err
 	}
@@ -294,6 +321,12 @@ type Recommendation struct {
 // effective yield — the paper's Fig. 10 decision procedure (high redundancy
 // pays off at low p; low redundancy wins at high p).
 func RecommendDesign(p float64, nPrimary, runs int, seed int64) (Recommendation, error) {
+	return RecommendDesignContext(context.Background(), p, nPrimary, SimParams{Runs: runs, Seed: seed})
+}
+
+// RecommendDesignContext is RecommendDesign with cancellation and full
+// simulation parameters.
+func RecommendDesignContext(ctx context.Context, p float64, nPrimary int, sp SimParams) (Recommendation, error) {
 	var rec Recommendation
 	bestEY := -1.0
 	for _, d := range layout.AllDesigns() {
@@ -301,7 +334,7 @@ func RecommendDesign(p float64, nPrimary, runs int, seed int64) (Recommendation,
 		if err != nil {
 			return Recommendation{}, err
 		}
-		ya, err := chip.AnalyzeYield(p, runs, seed)
+		ya, err := chip.AnalyzeYieldContext(ctx, p, sp)
 		if err != nil {
 			return Recommendation{}, err
 		}

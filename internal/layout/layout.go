@@ -129,10 +129,16 @@ func AllDesigns() []Design {
 	return []Design{DTMB16(), DTMB26(), DTMB36(), DTMB44()}
 }
 
+// AllDesignsWithVariants returns every constructible design: the four
+// canonical Table 1 designs followed by the DTMB(2,6) Fig. 4(b) variant.
+func AllDesignsWithVariants() []Design {
+	return append(AllDesigns(), DTMB26Alt())
+}
+
 // DesignByName returns the design with the given name (as produced by the
 // constructors above, e.g. "DTMB(3,6)").
 func DesignByName(name string) (Design, error) {
-	for _, d := range append(AllDesigns(), DTMB26Alt()) {
+	for _, d := range AllDesignsWithVariants() {
 		if d.Name == name {
 			return d, nil
 		}

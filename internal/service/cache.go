@@ -1,0 +1,105 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey identifies one simulation result. Simulations are deterministic
+// in these fields (chunk-seeded Monte-Carlo is independent of worker count),
+// so equal keys mean equal results and caching is sound. kind separates the
+// endpoint namespaces; design is "*" for whole-design-space queries.
+type cacheKey struct {
+	kind     string
+	design   string
+	nPrimary int
+	p        float64
+	runs     int
+	seed     int64
+}
+
+// resultCache is a mutex-guarded LRU of finished responses.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// cacheEntry is the list-element payload.
+type cacheEntry struct {
+	key cacheKey
+	val any
+}
+
+// newResultCache builds an LRU holding at most capacity entries (minimum 1).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *resultCache) Get(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// peek is Get without touching the hit/miss counters, for internal
+// double-checks that should not skew the reported hit rate.
+func (c *resultCache) peek(k cacheKey) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores v under k, evicting the least recently used entry when full.
+func (c *resultCache) Add(k cacheKey, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the hit and miss counters.
+func (c *resultCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

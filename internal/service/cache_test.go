@@ -1,0 +1,71 @@
+package service
+
+import "testing"
+
+func key(design string, n int) cacheKey {
+	return cacheKey{kind: "yield", design: design, nPrimary: n, p: 0.95, runs: 1000, seed: 1}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get(key("a", 1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add(key("a", 1), 42)
+	v, ok := c.Get(key("a", 1))
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v; want 42, true", v, ok)
+	}
+	// Distinct fields must miss: same design, different primaries.
+	if _, ok := c.Get(key("a", 2)); ok {
+		t.Error("key with different n_primary hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestCacheOverwrite(t *testing.T) {
+	c := newResultCache(2)
+	c.Add(key("a", 1), 1)
+	c.Add(key("a", 1), 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add, want 1", c.Len())
+	}
+	if v, _ := c.Get(key("a", 1)); v.(int) != 2 {
+		t.Errorf("overwrite lost: got %v, want 2", v)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Add(key("a", 1), "a")
+	c.Add(key("b", 1), "b")
+	// Touch "a" so "b" becomes least recently used.
+	if _, ok := c.Get(key("a", 1)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.Add(key("c", 1), "c")
+	if _, ok := c.Get(key("b", 1)); ok {
+		t.Error("LRU entry b not evicted")
+	}
+	if _, ok := c.Get(key("a", 1)); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if _, ok := c.Get(key("c", 1)); !ok {
+		t.Error("newest entry c evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := newResultCache(0)
+	c.Add(key("a", 1), 1)
+	c.Add(key("b", 1), 2)
+	if c.Len() != 1 {
+		t.Errorf("capacity-0 cache holds %d entries, want 1", c.Len())
+	}
+}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"dmfb/internal/core"
+	"dmfb/internal/layout"
+	"dmfb/internal/reconfig"
+)
+
+// EngineConfig tunes the batched simulation engine. The zero value gives
+// sensible defaults.
+type EngineConfig struct {
+	// CacheSize bounds the LRU result cache; 0 means 1024 entries.
+	CacheSize int
+	// DefaultRuns is the Monte-Carlo run count for requests that omit runs;
+	// 0 means the paper's 10000.
+	DefaultRuns int
+	// Workers bounds per-simulation parallelism; 0 means GOMAXPROCS. It does
+	// not affect results — the chunk-seeded kernel is worker-independent.
+	Workers int
+	// ChunkSize is the Monte-Carlo work-unit size; 0 means
+	// yieldsim.DefaultChunkSize. Part of the determinism contract: change it
+	// and cached results for the same seed change.
+	ChunkSize int
+	// MaxConcurrent bounds simulations executing at once; excess requests
+	// queue on the semaphore (respecting cancellation). 0 means 2: each
+	// simulation already fans out across GOMAXPROCS workers, so a small
+	// admission bound keeps cores saturated without heavy oversubscription,
+	// while a lone request still uses the whole machine.
+	MaxConcurrent int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.DefaultRuns <= 0 {
+		c.DefaultRuns = 10000
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	return c
+}
+
+// Engine executes yield-analysis requests: a bounded admission semaphore in
+// front of the chunked Monte-Carlo kernel, an LRU cache over finished
+// results, and single-flight deduplication so concurrent identical requests
+// share one computation.
+type Engine struct {
+	cfg     EngineConfig
+	cache   *resultCache
+	flights *flightGroup
+	sem     chan struct{}
+
+	inFlight      atomic.Int64
+	sharedFlights atomic.Uint64
+	completed     atomic.Uint64
+	start         time.Time
+}
+
+// NewEngine builds an engine from the config.
+func NewEngine(cfg EngineConfig) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		start:   time.Now(),
+	}
+}
+
+// simParams assembles the core simulation parameters for a request.
+func (e *Engine) simParams(runs int, seed int64) core.SimParams {
+	if runs <= 0 {
+		runs = e.cfg.DefaultRuns
+	}
+	return core.SimParams{
+		Runs:      runs,
+		Seed:      seed,
+		Workers:   e.cfg.Workers,
+		ChunkSize: e.cfg.ChunkSize,
+	}
+}
+
+// acquire admits one simulation, waiting for a semaphore slot.
+func (e *Engine) acquire(ctx context.Context) error {
+	// A pre-cancelled context must not win a race against a free slot.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// flightResult wraps a flight's value with its provenance, so a leader that
+// found a just-cached result still reports it as cache-served.
+type flightResult struct {
+	val       any
+	fromCache bool
+}
+
+// cachedCompute serves key from the cache or runs compute exactly once
+// across concurrent identical requests, caching its result. The cached flag
+// reports whether the caller's response came from the cache (directly, by
+// sharing another request's flight, or by winning a flight whose result a
+// previous leader had just cached).
+//
+// The shared computation runs under the leader's context: if the leader's
+// client disconnects, followers retry and one of them restarts the
+// simulation. That trades wasted work under disconnect churn for the
+// property that a simulation with no live waiters never burns CPU; a
+// refcounted detached context could rescue near-finished work but is not
+// worth the complexity at current workloads.
+func (e *Engine) cachedCompute(ctx context.Context, key cacheKey, compute func() (any, error)) (val any, cached bool, err error) {
+	lookup := e.cache.Get
+	for {
+		if v, ok := lookup(key); ok {
+			return v, true, nil
+		}
+		// Retries after a cancelled leader are the same logical request;
+		// don't let them re-count a cache miss.
+		lookup = e.cache.peek
+		v, err, shared := e.flights.Do(ctx, key, func() (any, error) {
+			// A previous leader may have cached the result between our cache
+			// miss and winning this flight; don't re-run the simulation (and
+			// don't double-count this request in the hit/miss stats).
+			if v, ok := e.cache.peek(key); ok {
+				return flightResult{val: v, fromCache: true}, nil
+			}
+			if err := e.acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer e.release()
+			e.inFlight.Add(1)
+			defer e.inFlight.Add(-1)
+			v, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			e.completed.Add(1)
+			e.cache.Add(key, v)
+			return flightResult{val: v}, nil
+		})
+		if shared {
+			// A follower inherits the leader's error; if the leader was
+			// cancelled but we were not, retry rather than surface a
+			// cancellation the client never asked for.
+			if err != nil && isContextErr(err) && ctx.Err() == nil {
+				continue
+			}
+			// Count only flights that delivered a shared outcome — not a
+			// follower surfacing its own cancellation.
+			if err == nil || !isContextErr(err) {
+				e.sharedFlights.Add(1)
+			}
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		fr := v.(flightResult)
+		return fr.val, shared || fr.fromCache, nil
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// yieldResponse converts a core analysis to the wire type.
+func yieldResponse(ya core.YieldAnalysis, runs int, seed int64) YieldResponse {
+	return YieldResponse{
+		Design:         ya.Design,
+		NPrimary:       ya.NPrimary,
+		NTotal:         ya.NTotal,
+		P:              ya.P,
+		Runs:           runs,
+		Seed:           seed,
+		Yield:          ya.Yield,
+		CILo:           ya.CILo,
+		CIHi:           ya.CIHi,
+		EffectiveYield: ya.EffectiveYield,
+		NoRedundancy:   ya.NoRedundancy,
+	}
+}
+
+// Yield estimates one design's yield, serving repeats from the cache.
+func (e *Engine) Yield(ctx context.Context, req YieldRequest) (YieldResponse, error) {
+	if err := req.validate(); err != nil {
+		return YieldResponse{}, err
+	}
+	design, err := resolveDesign(req.Design)
+	if err != nil {
+		return YieldResponse{}, err
+	}
+	sp := e.simParams(req.Runs, req.Seed)
+	if err := validateWork(sp.Runs, req.NPrimary); err != nil {
+		return YieldResponse{}, err
+	}
+	key := cacheKey{kind: "yield", design: design.Name, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}
+	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
+		// req is fully validated above; a core.New failure here is internal.
+		chip, err := core.New(design, req.NPrimary)
+		if err != nil {
+			return nil, err
+		}
+		ya, err := chip.AnalyzeYieldContext(ctx, req.P, sp)
+		if err != nil {
+			return nil, err
+		}
+		return yieldResponse(ya, sp.Runs, sp.Seed), nil
+	})
+	if err != nil {
+		return YieldResponse{}, err
+	}
+	resp := v.(YieldResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+// Recommend evaluates all canonical designs and names the effective-yield
+// winner — identical inputs return exactly what core.RecommendDesign does.
+func (e *Engine) Recommend(ctx context.Context, req RecommendRequest) (RecommendResponse, error) {
+	if err := req.validate(); err != nil {
+		return RecommendResponse{}, err
+	}
+	sp := e.simParams(req.Runs, req.Seed)
+	// A recommendation simulates every canonical design, so the work cap
+	// applies to the whole fan-out, not a single design's share.
+	if err := validateWork(sp.Runs*len(layout.AllDesigns()), req.NPrimary); err != nil {
+		return RecommendResponse{}, err
+	}
+	key := cacheKey{kind: "recommend", design: "*", nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}
+	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
+		// req is fully validated above; any failure here (array construction
+		// or simulation on canonical designs) is a server-side error.
+		rec, err := core.RecommendDesignContext(ctx, req.P, req.NPrimary, sp)
+		if err != nil {
+			return nil, err
+		}
+		resp := RecommendResponse{Best: rec.Best.Name}
+		for _, ya := range rec.Analyses {
+			yr := yieldResponse(ya, sp.Runs, sp.Seed)
+			resp.Analyses = append(resp.Analyses, yr)
+			if yr.Design == resp.Best {
+				resp.BestEffectiveYield = yr.EffectiveYield
+			}
+			// Prime the per-design yield cache: drilling into one design
+			// after a recommendation is the natural next request, and the
+			// simulation parameters are identical.
+			e.cache.Add(cacheKey{kind: "yield", design: yr.Design, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}, yr)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	resp := v.(RecommendResponse)
+	resp.Cached = cached
+	return resp, nil
+}
+
+// Reconfigure computes a local-reconfiguration plan for an explicit fault
+// list. It is pure matching (no Monte-Carlo) and uncacheable in practice
+// (fault lists rarely repeat), but at the admissible extremes (n_primary up
+// to MaxNPrimary) matching is not cheap, so it still goes through the
+// admission semaphore.
+func (e *Engine) Reconfigure(ctx context.Context, req ReconfigureRequest) (ReconfigureResponse, error) {
+	if err := req.validate(); err != nil {
+		return ReconfigureResponse{}, err
+	}
+	design, err := resolveDesign(req.Design)
+	if err != nil {
+		return ReconfigureResponse{}, err
+	}
+	if err := e.acquire(ctx); err != nil {
+		return ReconfigureResponse{}, err
+	}
+	defer e.release()
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	chip, err := core.New(design, req.NPrimary)
+	if err != nil {
+		return ReconfigureResponse{}, err
+	}
+	n := chip.Array().NumCells()
+	ids := make([]layout.CellID, 0, len(req.FaultyCells))
+	for _, c := range req.FaultyCells {
+		if c < 0 || c >= n {
+			return ReconfigureResponse{}, invalidf("faulty cell %d out of range [0,%d)", c, n)
+		}
+		ids = append(ids, layout.CellID(c))
+	}
+	if err := chip.SetFaulty(ids...); err != nil {
+		return ReconfigureResponse{}, invalidf("%v", err)
+	}
+	plan, err := chip.Reconfigure()
+	if err != nil {
+		return ReconfigureResponse{}, err
+	}
+	return reconfigureResponse(plan, n), nil
+}
+
+// reconfigureResponse converts a reconfig.Plan to the wire type.
+func reconfigureResponse(plan reconfig.Plan, nTotal int) ReconfigureResponse {
+	resp := ReconfigureResponse{
+		OK:              plan.OK,
+		Assignments:     make([]Assignment, 0, len(plan.Assignments)),
+		FaultyPrimaries: plan.FaultyPrimaries,
+		FaultySpares:    plan.FaultySpares,
+		NTotal:          nTotal,
+	}
+	for _, a := range plan.Assignments {
+		resp.Assignments = append(resp.Assignments, Assignment{Faulty: int(a.Faulty), Spare: int(a.Spare)})
+	}
+	for _, id := range plan.Unmatched {
+		resp.Unmatched = append(resp.Unmatched, int(id))
+	}
+	for _, id := range plan.HallWitness {
+		resp.HallWitness = append(resp.HallWitness, int(id))
+	}
+	return resp
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() StatsResponse {
+	hits, misses := e.cache.Stats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return StatsResponse{
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheHitRate:  rate,
+		CacheSize:     e.cache.Len(),
+		CacheCapacity: e.cfg.CacheSize,
+		InFlight:      e.inFlight.Load(),
+		SharedFlights: e.sharedFlights.Load(),
+		Completed:     e.completed.Load(),
+		UptimeSeconds: time.Since(e.start).Seconds(),
+	}
+}
+
+// DefaultRuns exposes the engine's default run count (for logs and tools).
+func (e *Engine) DefaultRuns() int { return e.cfg.DefaultRuns }

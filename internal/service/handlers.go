@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; yield requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// NewMux routes the API onto a fresh ServeMux:
+//
+//	POST /v1/yield       Monte-Carlo yield of one design
+//	POST /v1/recommend   effective-yield winner across all designs
+//	POST /v1/reconfigure local-reconfiguration plan for a fault list
+//	GET  /v1/stats       cache hit rate, in-flight work, uptime
+//	GET  /healthz        liveness probe
+func NewMux(e *Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/yield", jsonHandler(func(r *http.Request, req YieldRequest) (YieldResponse, error) {
+		return e.Yield(r.Context(), req)
+	}))
+	mux.HandleFunc("POST /v1/recommend", jsonHandler(func(r *http.Request, req RecommendRequest) (RecommendResponse, error) {
+		return e.Recommend(r.Context(), req)
+	}))
+	mux.HandleFunc("POST /v1/reconfigure", jsonHandler(func(r *http.Request, req ReconfigureRequest) (ReconfigureResponse, error) {
+		return e.Reconfigure(r.Context(), req)
+	}))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// jsonHandler decodes a request body into Req, runs fn, and encodes its
+// response, mapping errors to HTTP statuses.
+func jsonHandler[Req, Resp any](fn func(*http.Request, Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			status := http.StatusBadRequest
+			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
+			return
+		}
+		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+			status := http.StatusBadRequest
+			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeJSON(w, status, errorBody{Error: "invalid request body: trailing data"})
+			return
+		}
+		resp, err := fn(r, req)
+		if err != nil {
+			status := errStatus(err)
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// errStatus maps engine errors to HTTP statuses: validation → 400, caller
+// cancellation/timeout → 503, anything else → 500.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalidRequest):
+		return http.StatusBadRequest
+	case isContextErr(err):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

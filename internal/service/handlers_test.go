@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testMux() (*http.ServeMux, *Engine) {
+	e := NewEngine(EngineConfig{CacheSize: 16, DefaultRuns: 300})
+	return NewMux(e), e
+}
+
+func doJSON(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlersTable(t *testing.T) {
+	mux, _ := testMux()
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantSubstr string
+	}{
+		{
+			name:   "yield happy path",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"DTMB(2,6)","n_primary":60,"p":0.95,"runs":300,"seed":1}`,
+			wantStatus: http.StatusOK,
+			wantSubstr: `"yield"`,
+		},
+		{
+			name:   "yield compact alias",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"dtmb44","n_primary":40,"p":0.9,"runs":200}`,
+			wantStatus: http.StatusOK,
+			wantSubstr: `"DTMB(4,4)"`,
+		},
+		{
+			name:   "yield unknown design",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"DTMB(9,9)","n_primary":60,"p":0.95}`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "unknown design",
+		},
+		{
+			name:   "yield p out of range",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"DTMB(2,6)","n_primary":60,"p":1.5}`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "outside [0,1]",
+		},
+		{
+			name:   "yield non-positive n_primary",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"DTMB(2,6)","n_primary":0,"p":0.95}`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "n_primary",
+		},
+		{
+			name:   "yield malformed JSON",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "invalid request body",
+		},
+		{
+			name:   "yield unknown field",
+			method: http.MethodPost, path: "/v1/yield",
+			body:       `{"design":"DTMB(2,6)","n_primary":60,"p":0.95,"bogus":1}`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "invalid request body",
+		},
+		{
+			name:   "yield wrong method",
+			method: http.MethodGet, path: "/v1/yield",
+			body:       "",
+			wantStatus: http.StatusMethodNotAllowed,
+		},
+		{
+			name:   "recommend happy path",
+			method: http.MethodPost, path: "/v1/recommend",
+			body:       `{"p":0.95,"n_primary":40,"runs":200,"seed":5}`,
+			wantStatus: http.StatusOK,
+			wantSubstr: `"best"`,
+		},
+		{
+			name:   "recommend bad p",
+			method: http.MethodPost, path: "/v1/recommend",
+			body:       `{"p":-0.1,"n_primary":40}`,
+			wantStatus: http.StatusBadRequest,
+		},
+		{
+			name:   "reconfigure happy path",
+			method: http.MethodPost, path: "/v1/reconfigure",
+			body:       `{"design":"DTMB(2,6)","n_primary":60,"faulty_cells":[0]}`,
+			wantStatus: http.StatusOK,
+			wantSubstr: `"ok"`,
+		},
+		{
+			name:   "reconfigure cell out of range",
+			method: http.MethodPost, path: "/v1/reconfigure",
+			body:       `{"design":"DTMB(2,6)","n_primary":60,"faulty_cells":[99999]}`,
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "out of range",
+		},
+		{
+			name:   "healthz",
+			method: http.MethodGet, path: "/healthz",
+			wantStatus: http.StatusOK,
+			wantSubstr: `"ok"`,
+		},
+		{
+			name:   "stats",
+			method: http.MethodGet, path: "/v1/stats",
+			wantStatus: http.StatusOK,
+			wantSubstr: `"cache_hit_rate"`,
+		},
+		{
+			name:   "unknown route",
+			method: http.MethodGet, path: "/v1/nope",
+			wantStatus: http.StatusNotFound,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := doJSON(t, mux, tc.method, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			if tc.wantSubstr != "" && !strings.Contains(w.Body.String(), tc.wantSubstr) {
+				t.Errorf("body %q missing %q", w.Body.String(), tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestHandlerOversizedBody(t *testing.T) {
+	mux, _ := testMux()
+	big := `{"design":"DTMB(2,6)","n_primary":60,"p":0.95,"faulty_cells":[` +
+		strings.Repeat("1,", maxBodyBytes/2) + `1]}`
+	w := doJSON(t, mux, http.MethodPost, "/v1/reconfigure", big)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status = %d, want %d", w.Code, http.StatusRequestEntityTooLarge)
+	}
+}
+
+func TestHandlerCancelledContext(t *testing.T) {
+	mux, _ := testMux()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/yield",
+		strings.NewReader(`{"design":"DTMB(2,6)","n_primary":60,"p":0.95,"runs":300}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("cancelled request status = %d, want %d; body %s",
+			w.Code, http.StatusServiceUnavailable, w.Body.String())
+	}
+}
+
+func TestRepeatYieldServedFromCacheViaHTTP(t *testing.T) {
+	mux, _ := testMux()
+	body := `{"design":"DTMB(2,6)","n_primary":60,"p":0.95,"runs":300,"seed":9}`
+
+	var first, second YieldResponse
+	w := doJSON(t, mux, http.MethodPost, "/v1/yield", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("first request: %d %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	w = doJSON(t, mux, http.MethodPost, "/v1/yield", body)
+	if err := json.Unmarshal(w.Body.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags = %v, %v; want false, true", first.Cached, second.Cached)
+	}
+	if first.Yield != second.Yield {
+		t.Errorf("cached yield %v != computed %v", second.Yield, first.Yield)
+	}
+
+	var st StatsResponse
+	w = doJSON(t, mux, http.MethodGet, "/v1/stats", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHits == 0 {
+		t.Errorf("stats hit counter = 0 after a cache hit: %+v", st)
+	}
+	if st.Completed != 1 {
+		t.Errorf("stats completed = %d, want 1", st.Completed)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	srv := NewServer(ServerConfig{Addr: "127.0.0.1:0", Engine: EngineConfig{DefaultRuns: 200}})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v after graceful shutdown", err)
+	}
+}

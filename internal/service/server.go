@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServerConfig configures the HTTP server around an engine.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. ":8080"; empty means ":8080".
+	Addr string
+	// Engine tunes the simulation engine behind the handlers.
+	Engine EngineConfig
+	// Logger receives lifecycle messages; nil means the standard logger.
+	Logger *log.Logger
+}
+
+// Server is the dtmb-serve HTTP server: handlers over one Engine, with
+// graceful shutdown that drains in-flight simulations.
+type Server struct {
+	engine *Engine
+	http   *http.Server
+	ln     net.Listener
+	logger *log.Logger
+}
+
+// NewServer builds the server; call Listen then Serve (or combine via Run).
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	engine := NewEngine(cfg.Engine)
+	return &Server{
+		engine: engine,
+		logger: logger,
+		http: &http.Server{
+			Addr:              cfg.Addr,
+			Handler:           NewMux(engine),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// Engine exposes the underlying engine (for stats and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Listen binds the address; Addr is then available for clients.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", s.http.Addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address after Listen (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.http.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve blocks serving requests until Shutdown; it returns nil after a
+// graceful shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		if err := s.Listen(); err != nil {
+			return err
+		}
+	}
+	s.logger.Printf("dtmb-serve listening on %s (default runs %d)", s.Addr(), s.engine.DefaultRuns())
+	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Run serves until ctx is cancelled, then shuts down gracefully within
+// grace, draining in-flight requests.
+func (s *Server) Run(ctx context.Context, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Printf("dtmb-serve shutting down (grace %s)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := s.http.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("service: shutdown: %w", err)
+	}
+	return <-errCh
+}
+
+// Shutdown stops the server, waiting for in-flight requests up to ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}

@@ -1,0 +1,219 @@
+// Package service is the online serving layer of the library: an HTTP/JSON
+// API exposing yield simulation, design recommendation, and
+// reconfiguration-plan queries over the core/yieldsim/reconfig/layout
+// machinery.
+//
+// The package splits into
+//
+//   - types.go: the wire-level request/response contracts and validation,
+//   - cache.go: a bounded LRU over finished simulation results,
+//   - flight.go: single-flight deduplication of concurrent identical work,
+//   - engine.go: the batched simulation engine combining the three,
+//   - handlers.go: the HTTP handlers and error mapping,
+//   - server.go: server construction and graceful lifecycle.
+//
+// Simulation endpoints are deterministic in their request parameters (the
+// chunk-seeded Monte-Carlo kernel is independent of worker count), which is
+// what makes caching by request key sound.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"dmfb/internal/layout"
+)
+
+// ErrInvalidRequest tags validation failures so handlers can map them to
+// HTTP 400; wrap it with fmt.Errorf("%w: ...").
+var ErrInvalidRequest = errors.New("invalid request")
+
+// Resource bounds on a single request, so one cheap POST cannot monopolize
+// a worker-pool slot for hours or drive array construction into huge
+// allocations. Both are far above the paper's workloads (10000 runs,
+// n ≤ 240) while keeping the worst-case request bounded.
+const (
+	// MaxRuns caps the Monte-Carlo run count of one request.
+	MaxRuns = 1_000_000
+	// MaxNPrimary caps the primary-cell count of one request.
+	MaxNPrimary = 100_000
+	// MaxWork caps runs × n_primary — the per-field caps alone would still
+	// admit a request costing hours of CPU at both extremes at once.
+	MaxWork = 2_000_000_000
+	// MaxFaultyCells caps a reconfigure request's fault list; anything
+	// larger than every cell of the largest admissible array is noise.
+	MaxFaultyCells = 500_000
+)
+
+// validateWork bounds the total simulated trial-cells of one request; the
+// engine calls it after defaulting the run count.
+func validateWork(runs, nPrimary int) error {
+	if int64(runs)*int64(nPrimary) > MaxWork {
+		return invalidf("runs×n_primary = %d exceeds the per-request work cap %d", int64(runs)*int64(nPrimary), int64(MaxWork))
+	}
+	return nil
+}
+
+// invalidf builds an ErrInvalidRequest with detail.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
+}
+
+// resolveDesign maps a wire-level design name to a layout.Design. It accepts
+// the paper's names ("DTMB(2,6)") and compact aliases ("dtmb26"),
+// case-insensitively.
+func resolveDesign(name string) (layout.Design, error) {
+	all := layout.AllDesignsWithVariants()
+	want := strings.ToLower(strings.TrimSpace(name))
+	names := make([]string, 0, len(all))
+	for _, d := range all {
+		canonical := strings.ToLower(d.Name)
+		compact := strings.NewReplacer("(", "", ")", "", ",", "").Replace(canonical)
+		if want == canonical || want == compact {
+			return d, nil
+		}
+		names = append(names, d.Name)
+	}
+	return layout.Design{}, invalidf("unknown design %q (try %s)", name, strings.Join(names, ", "))
+}
+
+// YieldRequest asks for a Monte-Carlo yield estimate of one design.
+type YieldRequest struct {
+	// Design names a DTMB(s, p) pattern, e.g. "DTMB(2,6)" or "dtmb26".
+	Design string `json:"design"`
+	// NPrimary is the number of primary cells of the array.
+	NPrimary int `json:"n_primary"`
+	// P is the cell survival probability in [0, 1].
+	P float64 `json:"p"`
+	// Runs is the Monte-Carlo run count; 0 means the engine default.
+	Runs int `json:"runs,omitempty"`
+	// Seed makes the estimate reproducible; identical requests hit the cache.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (r *YieldRequest) validate() error {
+	if r.Design == "" {
+		return invalidf("design is required")
+	}
+	if r.NPrimary <= 0 || r.NPrimary > MaxNPrimary {
+		return invalidf("n_primary must be in [1,%d], got %d", MaxNPrimary, r.NPrimary)
+	}
+	if math.IsNaN(r.P) || r.P < 0 || r.P > 1 {
+		return invalidf("p %v outside [0,1]", r.P)
+	}
+	if r.Runs < 0 || r.Runs > MaxRuns {
+		return invalidf("runs must be in [0,%d], got %d", MaxRuns, r.Runs)
+	}
+	return nil
+}
+
+// YieldResponse is one design's yield analysis.
+type YieldResponse struct {
+	Design         string  `json:"design"`
+	NPrimary       int     `json:"n_primary"`
+	NTotal         int     `json:"n_total"`
+	P              float64 `json:"p"`
+	Runs           int     `json:"runs"`
+	Seed           int64   `json:"seed"`
+	Yield          float64 `json:"yield"`
+	CILo           float64 `json:"ci_lo"`
+	CIHi           float64 `json:"ci_hi"`
+	EffectiveYield float64 `json:"effective_yield"`
+	NoRedundancy   float64 `json:"no_redundancy"`
+	// Cached reports whether the response was served from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// RecommendRequest asks which canonical design maximizes effective yield at
+// survival probability P (the paper's Fig. 10 decision procedure).
+type RecommendRequest struct {
+	P        float64 `json:"p"`
+	NPrimary int     `json:"n_primary"`
+	Runs     int     `json:"runs,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+func (r *RecommendRequest) validate() error {
+	if r.NPrimary <= 0 || r.NPrimary > MaxNPrimary {
+		return invalidf("n_primary must be in [1,%d], got %d", MaxNPrimary, r.NPrimary)
+	}
+	if math.IsNaN(r.P) || r.P < 0 || r.P > 1 {
+		return invalidf("p %v outside [0,1]", r.P)
+	}
+	if r.Runs < 0 || r.Runs > MaxRuns {
+		return invalidf("runs must be in [0,%d], got %d", MaxRuns, r.Runs)
+	}
+	return nil
+}
+
+// RecommendResponse names the winning design and carries every analysis that
+// fed the decision.
+type RecommendResponse struct {
+	Best               string          `json:"best"`
+	BestEffectiveYield float64         `json:"best_effective_yield"`
+	Analyses           []YieldResponse `json:"analyses"`
+	Cached             bool            `json:"cached"`
+}
+
+// ReconfigureRequest asks for a local-reconfiguration plan of a design with
+// the given faulty cells (e.g. from a test session's diagnosis).
+type ReconfigureRequest struct {
+	Design      string `json:"design"`
+	NPrimary    int    `json:"n_primary"`
+	FaultyCells []int  `json:"faulty_cells"`
+}
+
+func (r *ReconfigureRequest) validate() error {
+	if r.Design == "" {
+		return invalidf("design is required")
+	}
+	if r.NPrimary <= 0 || r.NPrimary > MaxNPrimary {
+		return invalidf("n_primary must be in [1,%d], got %d", MaxNPrimary, r.NPrimary)
+	}
+	if len(r.FaultyCells) > MaxFaultyCells {
+		return invalidf("faulty_cells has %d entries, cap is %d", len(r.FaultyCells), MaxFaultyCells)
+	}
+	return nil
+}
+
+// Assignment is one wire-level replacement: faulty primary → adjacent spare.
+type Assignment struct {
+	Faulty int `json:"faulty"`
+	Spare  int `json:"spare"`
+}
+
+// ReconfigureResponse is the outcome of a reconfiguration attempt.
+type ReconfigureResponse struct {
+	// OK reports whether every faulty primary was repaired.
+	OK bool `json:"ok"`
+	// Assignments lists the replacements, sorted by faulty cell ID.
+	Assignments []Assignment `json:"assignments"`
+	// Unmatched lists faulty primaries left without a spare (empty when OK).
+	Unmatched []int `json:"unmatched,omitempty"`
+	// HallWitness, when OK is false, certifies infeasibility: a set of faulty
+	// primaries whose combined spare neighborhood is too small.
+	HallWitness     []int `json:"hall_witness,omitempty"`
+	FaultyPrimaries int   `json:"faulty_primaries"`
+	FaultySpares    int   `json:"faulty_spares"`
+	NTotal          int   `json:"n_total"`
+}
+
+// StatsResponse reports engine health: cache effectiveness and in-flight
+// work.
+type StatsResponse struct {
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheSize     int     `json:"cache_size"`
+	CacheCapacity int     `json:"cache_capacity"`
+	// InFlight counts simulations currently executing.
+	InFlight int64 `json:"in_flight"`
+	// SharedFlights counts requests that piggybacked on an identical
+	// in-flight computation instead of starting their own.
+	SharedFlights uint64 `json:"shared_flights"`
+	// Completed counts simulations actually executed (cache misses that ran).
+	Completed     uint64  `json:"completed"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

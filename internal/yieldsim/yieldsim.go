@@ -15,6 +15,7 @@
 package yieldsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -78,6 +79,11 @@ func (r Result) String() string {
 		r.Yield, r.CILo, r.CIHi, r.Successes, r.Runs)
 }
 
+// DefaultChunkSize is the number of trials in one work unit of the chunked
+// Monte-Carlo scheduler. Small enough that cancellation is responsive and
+// chunks load-balance across workers, large enough to amortize PRNG setup.
+const DefaultChunkSize = 256
+
 // MonteCarlo runs reconfiguration-feasibility yield simulations. The zero
 // value is not usable; use NewMonteCarlo.
 type MonteCarlo struct {
@@ -87,6 +93,11 @@ type MonteCarlo struct {
 	Seed int64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ChunkSize is the number of trials per scheduler work unit; 0 means
+	// DefaultChunkSize. Each chunk owns a PRNG stream derived from Seed, so
+	// an estimate is deterministic in (Seed, Runs, ChunkSize) — independent
+	// of Workers and of goroutine scheduling.
+	ChunkSize int
 	// Scope and Used configure the repair criterion (default: RepairAll).
 	Scope reconfig.Scope
 	Used  []bool
@@ -105,61 +116,99 @@ func (mc *MonteCarlo) workerCount() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// chunkSize resolves the scheduler work-unit size.
+func (mc *MonteCarlo) chunkSize() int {
+	if mc.ChunkSize > 0 {
+		return mc.ChunkSize
+	}
+	return DefaultChunkSize
+}
+
 // trial is one simulation task: inject faults, attempt reconfiguration.
 type trialFunc func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error)
 
-// run executes mc.Runs independent trials across the worker pool and counts
-// successes. Each worker owns a PRNG stream derived from mc.Seed, so results
-// do not depend on scheduling or worker count given a fixed worker total.
-func (mc *MonteCarlo) run(numCells int, trial trialFunc) (Result, error) {
+// run executes mc.Runs independent trials and counts successes. The runs are
+// split into fixed-size chunks, each seeded from its own PRNG stream derived
+// from mc.Seed, and the chunks are pulled by a bounded worker pool. Because
+// seeding is per chunk rather than per worker, the estimate is deterministic
+// in (Seed, Runs, ChunkSize) no matter how many workers execute it or how
+// the scheduler interleaves them. Cancellation via ctx is checked between
+// chunks, so a cancelled run aborts within one chunk's worth of work per
+// worker and returns ctx.Err().
+func (mc *MonteCarlo) run(ctx context.Context, numCells int, trial trialFunc) (Result, error) {
 	if mc.Runs <= 0 {
 		return Result{}, fmt.Errorf("yieldsim: Runs must be positive, got %d", mc.Runs)
 	}
-	workers := mc.workerCount()
-	if workers > mc.Runs {
-		workers = mc.Runs
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
-	seeds := stats.SeedStream(mc.Seed, workers)
-	// Distribute runs evenly; worker w performs base(+1) runs.
-	base := mc.Runs / workers
-	extra := mc.Runs % workers
+	// runCtx also stops the chunk producer when a trial error empties the
+	// worker pool early, so no goroutine outlives this call.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	chunk := mc.chunkSize()
+	numChunks := (mc.Runs + chunk - 1) / chunk
+	seeds := stats.SeedStream(mc.Seed, numChunks)
+	workers := mc.workerCount()
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	chunkCh := make(chan int)
+	go func() {
+		defer close(chunkCh)
+		for c := 0; c < numChunks; c++ {
+			select {
+			case chunkCh <- c:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
 
 	var wg sync.WaitGroup
 	successCh := make(chan int, workers)
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
-		runs := base
-		if w < extra {
-			runs++
-		}
-		if runs == 0 {
-			continue
-		}
 		wg.Add(1)
-		go func(seed int64, runs int) {
+		go func() {
 			defer wg.Done()
-			in := defects.NewInjector(seed)
 			fs := defects.NewFaultSet(numCells)
 			successes := 0
-			for i := 0; i < runs; i++ {
-				var ok bool
-				var err error
-				fs, ok, err = trial(in, fs)
-				if err != nil {
-					errCh <- err
-					return
+			for c := range chunkCh {
+				if runCtx.Err() != nil {
+					break
 				}
-				if ok {
-					successes++
+				runs := chunk
+				if c == numChunks-1 {
+					runs = mc.Runs - c*chunk
+				}
+				in := defects.NewInjector(seeds[c])
+				for i := 0; i < runs; i++ {
+					var ok bool
+					var err error
+					fs, ok, err = trial(in, fs)
+					if err != nil {
+						errCh <- err
+						cancel()
+						return
+					}
+					if ok {
+						successes++
+					}
 				}
 			}
 			successCh <- successes
-		}(seeds[w], runs)
+		}()
 	}
 	wg.Wait()
 	close(successCh)
 	close(errCh)
+	// A trial error takes precedence: it is what cancelled runCtx.
 	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	total := 0
@@ -186,10 +235,16 @@ func (mc *MonteCarlo) reconfigure(arr *layout.Array, fs *defects.FaultSet) (bool
 // and the chip survives iff local reconfiguration repairs all faulty
 // primaries.
 func (mc *MonteCarlo) Yield(arr *layout.Array, p float64) (Result, error) {
-	if p < 0 || p > 1 {
+	return mc.YieldContext(context.Background(), arr, p)
+}
+
+// YieldContext is Yield with cancellation: a cancelled ctx aborts the
+// simulation between chunks and returns ctx.Err().
+func (mc *MonteCarlo) YieldContext(ctx context.Context, arr *layout.Array, p float64) (Result, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
 	}
-	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
 		fs = in.Bernoulli(arr, p, fs)
 		ok, err := mc.reconfigure(arr, fs)
 		return fs, ok, err
@@ -200,10 +255,15 @@ func (mc *MonteCarlo) Yield(arr *layout.Array, p float64) (Result, error) {
 // (drawn uniformly from the domain) fail — the case-study experiment of
 // paper Fig. 13.
 func (mc *MonteCarlo) YieldFixedFaults(arr *layout.Array, m int, domain defects.Domain) (Result, error) {
+	return mc.YieldFixedFaultsContext(context.Background(), arr, m, domain)
+}
+
+// YieldFixedFaultsContext is YieldFixedFaults with cancellation.
+func (mc *MonteCarlo) YieldFixedFaultsContext(ctx context.Context, arr *layout.Array, m int, domain defects.Domain) (Result, error) {
 	if m < 0 {
 		return Result{}, fmt.Errorf("yieldsim: negative fault count %d", m)
 	}
-	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
 		fs, err := in.FixedCount(arr, m, domain, fs)
 		if err != nil {
 			return fs, false, err
@@ -216,10 +276,15 @@ func (mc *MonteCarlo) YieldFixedFaults(arr *layout.Array, m int, domain defects.
 // NoRedundancyMC estimates the no-redundancy yield by simulation (all n
 // working cells must survive). It exists to cross-check NoRedundancy.
 func (mc *MonteCarlo) NoRedundancyMC(arr *layout.Array, p float64) (Result, error) {
-	if p < 0 || p > 1 {
+	return mc.NoRedundancyMCContext(context.Background(), arr, p)
+}
+
+// NoRedundancyMCContext is NoRedundancyMC with cancellation.
+func (mc *MonteCarlo) NoRedundancyMCContext(ctx context.Context, arr *layout.Array, p float64) (Result, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
 	}
-	return mc.run(arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
 		fs = in.Bernoulli(arr, p, fs)
 		return fs, len(fs.FaultyPrimaries(arr)) == 0, nil
 	})
@@ -234,9 +299,14 @@ type SweepPoint struct {
 // SweepYield estimates yield across the given survival probabilities,
 // returning one point per p.
 func (mc *MonteCarlo) SweepYield(arr *layout.Array, ps []float64) ([]SweepPoint, error) {
+	return mc.SweepYieldContext(context.Background(), arr, ps)
+}
+
+// SweepYieldContext is SweepYield with cancellation between points.
+func (mc *MonteCarlo) SweepYieldContext(ctx context.Context, arr *layout.Array, ps []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, len(ps))
 	for _, p := range ps {
-		res, err := mc.Yield(arr, p)
+		res, err := mc.YieldContext(ctx, arr, p)
 		if err != nil {
 			return nil, err
 		}
