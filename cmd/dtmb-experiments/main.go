@@ -2,6 +2,9 @@
 // evaluation from the experiment drivers. By default it runs everything with
 // the paper's 10000 Monte-Carlo runs; -quick reduces run counts for smoke
 // testing, and the -table1/-fig2/... flags select individual experiments.
+// The yield-grid figures (9 and 10) are driven by the internal/sweep engine,
+// the same code path behind cmd/dtmb-sweep and POST /v1/sweep, so all three
+// produce identical numbers for identical parameters.
 package main
 
 import (

@@ -1,0 +1,224 @@
+// Command dtmb-sweep evaluates a Cartesian grid of yield scenarios —
+// survival probability × array size × redundancy strategy — and writes one
+// CSV or NDJSON record per grid point, suitable for regenerating the
+// paper's yield-versus-defect-probability curves (Figs. 7, 9, 10) with a
+// plotting tool of choice.
+//
+// It drives the same sweep engine as the POST /v1/sweep endpoint of
+// dtmb-serve, including its result cache and admission control, so repeated
+// grid points cost one simulation. Because the Monte-Carlo kernel is
+// chunk-seeded, output is byte-identical for a given (grid, runs, seed,
+// chunk size) regardless of -workers or GOMAXPROCS.
+//
+// Examples:
+//
+//	dtmb-sweep -designs 'DTMB(2,6)' -n 60,120,240 -pmin 0.90 -pmax 1.0 -points 11
+//	dtmb-sweep -strategies local,none,shifted -n 100 -spare-rows 1,2 -runs 2000 -o grid.csv
+//	dtmb-sweep -format ndjson -ps 0.95,0.99
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"dmfb/internal/service"
+)
+
+func main() {
+	var (
+		strategies = flag.String("strategies", "local", "comma-separated redundancy strategies: none, local, shifted")
+		designs    = flag.String("designs", "", "comma-separated DTMB designs for the local strategy (default: all four canonical)")
+		ns         = flag.String("n", "100", "comma-separated primary-cell counts")
+		psList     = flag.String("ps", "", "comma-separated explicit survival probabilities (overrides -pmin/-pmax/-points)")
+		pmin       = flag.Float64("pmin", 0.90, "lowest cell survival probability")
+		pmax       = flag.Float64("pmax", 1.00, "highest cell survival probability")
+		points     = flag.Int("points", 11, "number of evenly spaced probabilities in [pmin, pmax]")
+		spareRows  = flag.String("spare-rows", "1", "comma-separated boundary spare-row counts for the shifted strategy")
+		runs       = flag.Int("runs", 10000, "Monte-Carlo runs per grid point")
+		seed       = flag.Int64("seed", 20050307, "PRNG seed (same seed, same grid: same output)")
+		workers    = flag.Int("workers", 0, "goroutines per simulation (0 = GOMAXPROCS); never affects results")
+		chunkSize  = flag.Int("chunk-size", 0, "trials per Monte-Carlo work unit (0 = default 256); part of the determinism contract")
+		format     = flag.String("format", "csv", "output format: csv or ndjson")
+		outPath    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dtmb-sweep:", err)
+		os.Exit(1)
+	}
+
+	nVals, err := parseInts(*ns)
+	if err != nil {
+		fail(fmt.Errorf("-n: %w", err))
+	}
+	rowVals, err := parseInts(*spareRows)
+	if err != nil {
+		fail(fmt.Errorf("-spare-rows: %w", err))
+	}
+	pVals, err := parseFloats(*psList)
+	if err != nil {
+		fail(fmt.Errorf("-ps: %w", err))
+	}
+
+	req := service.SweepRequest{
+		Strategies: splitList(*strategies),
+		Designs:    splitDesigns(*designs),
+		NPrimaries: nVals,
+		Ps:         pVals,
+		PMin:       *pmin,
+		PMax:       *pmax,
+		PPoints:    *points,
+		SpareRows:  rowVals,
+		Runs:       *runs,
+		Seed:       *seed,
+	}
+
+	engine := service.NewEngine(service.EngineConfig{
+		DefaultRuns: *runs,
+		Workers:     *workers,
+		ChunkSize:   *chunkSize,
+	})
+	// Validate the whole request before touching the output file, so a bad
+	// flag cannot truncate a previously generated results file.
+	plan, err := engine.PlanSweep(req)
+	if err != nil {
+		fail(err)
+	}
+	if *format != "csv" && *format != "ndjson" {
+		fail(fmt.Errorf("unknown format %q (want csv or ndjson)", *format))
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	emit, finish, err := newEmitter(*format, out)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := engine.RunSweep(ctx, plan, emit); err != nil {
+		fail(err)
+	}
+	if err := finish(); err != nil {
+		fail(err)
+	}
+}
+
+// newEmitter returns the per-record writer and a final flush for the format.
+func newEmitter(format string, out io.Writer) (func(service.SweepRecord) error, func() error, error) {
+	switch format {
+	case "csv":
+		w := csv.NewWriter(out)
+		header := []string{"strategy", "design", "n_primary", "spare_rows", "n_total",
+			"p", "runs", "seed", "yield", "ci_lo", "ci_hi", "effective_yield", "no_redundancy"}
+		if err := w.Write(header); err != nil {
+			return nil, nil, err
+		}
+		emit := func(r service.SweepRecord) error {
+			return w.Write([]string{
+				r.Strategy, r.Design,
+				strconv.Itoa(r.NPrimary), strconv.Itoa(r.SpareRows), strconv.Itoa(r.NTotal),
+				fmtFloat(r.P), strconv.Itoa(r.Runs), strconv.FormatInt(r.Seed, 10),
+				fmtFloat(r.Yield), fmtFloat(r.CILo), fmtFloat(r.CIHi),
+				fmtFloat(r.EffectiveYield), fmtFloat(r.NoRedundancy),
+			})
+		}
+		finish := func() error {
+			w.Flush()
+			return w.Error()
+		}
+		return emit, finish, nil
+	case "ndjson":
+		enc := json.NewEncoder(out)
+		return func(r service.SweepRecord) error { return enc.Encode(r) },
+			func() error { return nil }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown format %q (want csv or ndjson)", format)
+}
+
+// fmtFloat renders a float with the shortest exact representation, so CSV
+// output is byte-stable across runs and platforms.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitDesigns splits a comma-separated design list without breaking names
+// like "DTMB(2,6)" apart: commas inside parentheses do not separate.
+func splitDesigns(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	flush := func(end int) {
+		if part := strings.TrimSpace(s[start:end]); part != "" {
+			out = append(out, part)
+		}
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				flush(i)
+				start = i + 1
+			}
+		}
+	}
+	flush(len(s))
+	return out
+}
+
+// parseInts parses a comma-separated integer list.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -20,17 +20,20 @@
 //	fmt.Println(plan.OK)                    // chip shippable?
 //
 // Beyond the library, the repository ships one-shot CLIs under cmd/
-// (dtmb-yield, dtmb-experiments, dtmb-layout, ...) and an online serving
-// layer: cmd/dtmb-serve exposes yield simulation (POST /v1/yield), design
-// recommendation (POST /v1/recommend) and reconfiguration-plan queries
-// (POST /v1/reconfigure) over HTTP/JSON, backed by internal/service — a
-// batched Monte-Carlo engine with a bounded worker pool, an LRU result
-// cache, and single-flight deduplication of concurrent identical requests.
-// The Monte-Carlo kernel is chunk-seeded, so estimates are deterministic in
-// (seed, runs, chunk size) regardless of parallelism; identical requests are
-// therefore cacheable and a served answer equals the library answer for the
-// same parameters. DESIGN.md documents the architecture and the full HTTP
-// API contract.
+// (dtmb-yield, dtmb-experiments, dtmb-layout, ...), a parameter-sweep tool
+// (cmd/dtmb-sweep, emitting CSV/NDJSON grids of yield scenarios), and an
+// online serving layer: cmd/dtmb-serve exposes yield simulation
+// (POST /v1/yield), design recommendation (POST /v1/recommend),
+// reconfiguration-plan queries (POST /v1/reconfigure) and streaming
+// parameter sweeps (POST /v1/sweep, NDJSON) over HTTP/JSON, backed by
+// internal/service — a batched Monte-Carlo engine with a bounded worker
+// pool, an LRU result cache, and single-flight deduplication of concurrent
+// identical requests. The Monte-Carlo kernel is chunk-seeded, so estimates
+// are deterministic in (seed, runs, chunk size) regardless of parallelism;
+// identical requests are therefore cacheable, sweep output is
+// byte-reproducible, and a served answer equals the library answer for the
+// same parameters. DESIGN.md documents the architecture and API.md the full
+// HTTP contract.
 package dmfb
 
 import (

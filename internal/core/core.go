@@ -271,8 +271,11 @@ type SimParams struct {
 	ChunkSize int
 }
 
-// monteCarlo builds the simulator for these parameters.
-func (sp SimParams) monteCarlo() *yieldsim.MonteCarlo {
+// MonteCarlo builds the simulator for these parameters. It is exported so
+// that subsystems layered above core (sweep evaluation, the service engine)
+// construct their kernels through one code path and inherit the same
+// defaults and determinism contract.
+func (sp SimParams) MonteCarlo() *yieldsim.MonteCarlo {
 	mc := yieldsim.NewMonteCarlo(sp.Seed)
 	if sp.Runs > 0 {
 		mc.Runs = sp.Runs
@@ -292,7 +295,7 @@ func (b *Biochip) AnalyzeYield(p float64, runs int, seed int64) (YieldAnalysis, 
 // AnalyzeYieldContext is AnalyzeYield with cancellation and full simulation
 // parameters.
 func (b *Biochip) AnalyzeYieldContext(ctx context.Context, p float64, sp SimParams) (YieldAnalysis, error) {
-	mc := sp.monteCarlo()
+	mc := sp.MonteCarlo()
 	res, err := mc.YieldContext(ctx, b.arr, p)
 	if err != nil {
 		return YieldAnalysis{}, err

@@ -246,6 +246,31 @@ func (in *Injector) Bernoulli(arr *layout.Array, p float64, dst *FaultSet) *Faul
 	return dst
 }
 
+// BernoulliN marks each of numCells generically indexed cells faulty
+// independently with probability q = 1−p. It is the structure-agnostic
+// sibling of Bernoulli for arrays that are not layout.Arrays (e.g. the
+// square-grid spare-row placements of the shifted-replacement baseline,
+// whose cells are identified by their dense row-major index). It reuses dst
+// when it has matching size (clearing it first) to avoid allocation in
+// Monte-Carlo loops.
+func (in *Injector) BernoulliN(numCells int, p float64, dst *FaultSet) *FaultSet {
+	if dst == nil || dst.NumCells() != numCells {
+		dst = NewFaultSet(numCells)
+	} else {
+		dst.Clear()
+	}
+	q := 1 - p
+	if q <= 0 {
+		return dst
+	}
+	for i := 0; i < numCells; i++ {
+		if in.rng.Float64() < q {
+			dst.MarkFaulty(layout.CellID(i))
+		}
+	}
+	return dst
+}
+
 // Domain selects which cells fixed-count injection may hit.
 type Domain uint8
 

@@ -344,3 +344,39 @@ func BenchmarkFixedCount35(b *testing.B) {
 		}
 	}
 }
+
+func TestBernoulliNDeterministicAndReusesDst(t *testing.T) {
+	const n = 200
+	fs1 := NewInjector(9).BernoulliN(n, 0.9, nil)
+	fs2 := NewInjector(9).BernoulliN(n, 0.9, nil)
+	if fs1.Count() == 0 || fs1.Count() == n {
+		t.Fatalf("degenerate fault count %d", fs1.Count())
+	}
+	for i := 0; i < n; i++ {
+		if fs1.IsFaulty(layout.CellID(i)) != fs2.IsFaulty(layout.CellID(i)) {
+			t.Fatalf("same seed diverged at cell %d", i)
+		}
+	}
+	// A matching-size dst is cleared and reused; a mismatched one replaced.
+	reused := NewInjector(10).BernoulliN(n, 1.0, fs1)
+	if reused != fs1 {
+		t.Error("matching-size dst not reused")
+	}
+	if reused.Count() != 0 {
+		t.Errorf("p=1 left %d faults", reused.Count())
+	}
+	replaced := NewInjector(10).BernoulliN(n+1, 0.9, fs1)
+	if replaced == fs1 {
+		t.Error("mismatched dst must be replaced")
+	}
+	if replaced.NumCells() != n+1 {
+		t.Errorf("replacement sized %d", replaced.NumCells())
+	}
+}
+
+func TestBernoulliNAllFailAtPZero(t *testing.T) {
+	fs := NewInjector(1).BernoulliN(50, 0, nil)
+	if fs.Count() != 50 {
+		t.Errorf("p=0 failed %d of 50 cells", fs.Count())
+	}
+}

@@ -6,14 +6,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dmfb/internal/chip"
+	"dmfb/internal/core"
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/sqgrid"
 	"dmfb/internal/stats"
+	"dmfb/internal/sweep"
 	"dmfb/internal/yieldsim"
 )
 
@@ -40,6 +43,31 @@ func (c Config) monteCarlo() *yieldsim.MonteCarlo {
 	}
 	mc.Workers = c.Workers
 	return mc
+}
+
+// simParams converts the experiment knobs to core simulation parameters, so
+// sweep-driven experiments and the ad-hoc Monte-Carlo drivers above share
+// one determinism contract.
+func (c Config) simParams() core.SimParams {
+	return core.SimParams{Runs: c.Runs, Seed: c.Seed, Workers: c.Workers}
+}
+
+// runSweep expands and evaluates a sweep grid sequentially (each point
+// already parallelizes across Workers), returning results in point order.
+func runSweep(spec sweep.Spec, sp core.SimParams) ([]sweep.PointResult, error) {
+	pts, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sweep.PointResult, 0, len(pts))
+	err = sweep.Run(context.Background(), pts, 1, sweep.Evaluator(sp), func(r sweep.PointResult) error {
+		results = append(results, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // fmtF formats a float at 4 decimals for table cells.
@@ -194,7 +222,9 @@ type Figure9Point struct {
 }
 
 // Figure9 reproduces the paper's Fig. 9: Monte-Carlo yield of DTMB(2,6),
-// DTMB(3,6) and DTMB(4,4) versus p for several primary-cell counts n.
+// DTMB(3,6) and DTMB(4,4) versus p for several primary-cell counts n. The
+// grid is evaluated by the sweep engine, so the driver and the /v1/sweep
+// endpoint produce identical numbers for identical parameters.
 func Figure9(cfg Config, ns []int, ps []float64) ([]Figure9Point, stats.Table, error) {
 	if len(ns) == 0 {
 		ns = []int{60, 120, 240}
@@ -202,28 +232,24 @@ func Figure9(cfg Config, ns []int, ps []float64) ([]Figure9Point, stats.Table, e
 	if len(ps) == 0 {
 		ps = stats.Linspace(0.90, 1.00, 11)
 	}
-	designs := []layout.Design{layout.DTMB26(), layout.DTMB36(), layout.DTMB44()}
 	tb := stats.Table{
 		Title:   fmt.Sprintf("Figure 9: Monte-Carlo yield (%d runs per point)", cfg.Runs),
 		Columns: []string{"Design", "n", "p", "yield", "ci-lo", "ci-hi"},
 	}
-	var points []Figure9Point
-	for _, d := range designs {
-		for _, n := range ns {
-			arr, err := layout.BuildWithPrimaryTarget(d, n)
-			if err != nil {
-				return nil, tb, err
-			}
-			mc := cfg.monteCarlo()
-			for _, p := range ps {
-				res, err := mc.Yield(arr, p)
-				if err != nil {
-					return nil, tb, err
-				}
-				points = append(points, Figure9Point{Design: d.Name, N: n, P: p, Result: res})
-				tb.AddRow(d.Name, fmt.Sprint(n), fmtF(p), fmtF(res.Yield), fmtF(res.CILo), fmtF(res.CIHi))
-			}
-		}
+	spec := sweep.Spec{
+		Strategies: []sweep.Strategy{sweep.Local},
+		Designs:    []string{layout.DTMB26().Name, layout.DTMB36().Name, layout.DTMB44().Name},
+		NPrimaries: ns,
+		Ps:         ps,
+	}
+	results, err := runSweep(spec, cfg.simParams())
+	if err != nil {
+		return nil, tb, err
+	}
+	points := make([]Figure9Point, 0, len(results))
+	for _, r := range results {
+		points = append(points, Figure9Point{Design: r.Design, N: r.NPrimary, P: r.P, Result: r.YieldResult()})
+		tb.AddRow(r.Design, fmt.Sprint(r.NPrimary), fmtF(r.P), fmtF(r.Yield), fmtF(r.CILo), fmtF(r.CIHi))
 	}
 	return points, tb, nil
 }
@@ -238,7 +264,9 @@ type Figure10Point struct {
 
 // Figure10 reproduces the paper's Fig. 10: effective yield EY = Y/(1+RR)
 // versus p for all four redundancy levels at n = 100 primary cells.
-// DTMB(4,4) dominates at low p; DTMB(1,6)/DTMB(2,6) win at high p.
+// DTMB(4,4) dominates at low p; DTMB(1,6)/DTMB(2,6) win at high p. The grid
+// is evaluated by the sweep engine; the design-major result order is folded
+// back into the p-major rows of the paper's figure.
 func Figure10(cfg Config, ps []float64) ([]Figure10Point, stats.Table, error) {
 	if len(ps) == 0 {
 		ps = stats.Linspace(0.80, 1.00, 21)
@@ -249,27 +277,30 @@ func Figure10(cfg Config, ps []float64) ([]Figure10Point, stats.Table, error) {
 		Columns: []string{"p"},
 	}
 	designs := layout.AllDesigns()
-	arrays := make([]*layout.Array, len(designs))
+	names := make([]string, len(designs))
 	for i, d := range designs {
-		arr, err := layout.BuildWithPrimaryTarget(d, n)
-		if err != nil {
-			return nil, tb, err
-		}
-		arrays[i] = arr
+		names[i] = d.Name
 		tb.Columns = append(tb.Columns, fmt.Sprintf("EY %s", d.Name))
 	}
+	spec := sweep.Spec{
+		Strategies: []sweep.Strategy{sweep.Local},
+		Designs:    names,
+		NPrimaries: []int{n},
+		Ps:         ps,
+	}
+	results, err := runSweep(spec, cfg.simParams())
+	if err != nil {
+		return nil, tb, err
+	}
+	// Expansion order is design-major, p-minor: result index = di*len(ps)+pi.
+	at := func(di, pi int) sweep.PointResult { return results[di*len(ps)+pi] }
 	var points []Figure10Point
-	for _, p := range ps {
+	for pi, p := range ps {
 		row := []string{fmtF(p)}
-		for i, d := range designs {
-			mc := cfg.monteCarlo()
-			res, err := mc.Yield(arrays[i], p)
-			if err != nil {
-				return nil, tb, err
-			}
-			ey := yieldsim.EffectiveYieldCells(res.Yield, arrays[i].NumPrimary(), arrays[i].NumCells())
-			points = append(points, Figure10Point{Design: d.Name, P: p, Yield: res.Yield, EffectiveYield: ey})
-			row = append(row, fmtF(ey))
+		for di, d := range designs {
+			r := at(di, pi)
+			points = append(points, Figure10Point{Design: d.Name, P: p, Yield: r.Yield, EffectiveYield: r.EffectiveYield})
+			row = append(row, fmtF(r.EffectiveYield))
 		}
 		tb.AddRow(row...)
 	}

@@ -120,6 +120,11 @@ func (s *ShiftSession) Repair(fault sqgrid.Coord, opts ShiftOptions) ShiftResult
 			}
 		}
 		if st.consumed[next] {
+			// Defensive: a cascade can only meet a consumed cell by first
+			// passing the fault that produced it, which the faulty-cell
+			// check above already rejects. Under the paper's strict
+			// adjacent-shifting scheme a column therefore absorbs at most
+			// one repair, no matter how many spare rows lie below.
 			return ShiftResult{
 				OK:     false,
 				Reason: fmt.Sprintf("cascade blocked at %v, already consumed by an earlier repair", next),

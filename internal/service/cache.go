@@ -16,6 +16,9 @@ type cacheKey struct {
 	p        float64
 	runs     int
 	seed     int64
+	// spare is the boundary spare-row count of shifted-replacement
+	// simulations ("shifted" kind); 0 for the interstitial kinds.
+	spare int
 }
 
 // resultCache is a mutex-guarded LRU of finished responses.

@@ -16,10 +16,12 @@ const maxBodyBytes = 1 << 20
 //	POST /v1/yield       Monte-Carlo yield of one design
 //	POST /v1/recommend   effective-yield winner across all designs
 //	POST /v1/reconfigure local-reconfiguration plan for a fault list
+//	POST /v1/sweep       parameter-grid sweep, streamed as NDJSON
 //	GET  /v1/stats       cache hit rate, in-flight work, uptime
 //	GET  /healthz        liveness probe
 func NewMux(e *Engine) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", sweepHandler(e))
 	mux.HandleFunc("POST /v1/yield", jsonHandler(func(r *http.Request, req YieldRequest) (YieldResponse, error) {
 		return e.Yield(r.Context(), req)
 	}))
@@ -43,28 +45,37 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// decodeRequest strictly decodes the request body into Req. On failure it
+// writes the JSON error response itself and reports ok = false.
+func decodeRequest[Req any](w http.ResponseWriter, r *http.Request) (req Req, ok bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return req, false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		status := http.StatusBadRequest
+		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorBody{Error: "invalid request body: trailing data"})
+		return req, false
+	}
+	return req, true
+}
+
 // jsonHandler decodes a request body into Req, runs fn, and encodes its
 // response, mapping errors to HTTP statuses.
 func jsonHandler[Req, Resp any](fn func(*http.Request, Req) (Resp, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var req Req
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			status := http.StatusBadRequest
-			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeJSON(w, status, errorBody{Error: fmt.Sprintf("invalid request body: %v", err)})
-			return
-		}
-		if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-			status := http.StatusBadRequest
-			if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
-				status = http.StatusRequestEntityTooLarge
-			}
-			writeJSON(w, status, errorBody{Error: "invalid request body: trailing data"})
+		req, ok := decodeRequest[Req](w, r)
+		if !ok {
 			return
 		}
 		resp, err := fn(r, req)
@@ -74,6 +85,41 @@ func jsonHandler[Req, Resp any](fn func(*http.Request, Req) (Resp, error)) http.
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// sweepHandler streams a sweep as NDJSON: one SweepRecord line per grid
+// point, in deterministic point order, flushed as each point completes so a
+// client watching `curl -N` sees the grid fill in. Validation failures are
+// rejected as ordinary JSON errors before the stream starts; a failure
+// mid-stream appends a trailing {"error": ...} line, which is how a client
+// distinguishes a truncated sweep from a finished one.
+func sweepHandler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeRequest[SweepRequest](w, r)
+		if !ok {
+			return
+		}
+		plan, err := e.PlanSweep(req)
+		if err != nil {
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		err = e.RunSweep(r.Context(), plan, func(rec SweepRecord) error {
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+		if err != nil && r.Context().Err() == nil {
+			_ = enc.Encode(SweepError{Error: err.Error()})
+		}
 	}
 }
 

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"context"
+
+	"dmfb/internal/core"
+	"dmfb/internal/sqgrid"
+	"dmfb/internal/sweep"
+)
+
+// SweepPlan is a validated, expanded sweep: its ordered grid points plus the
+// resolved simulation parameters. Splitting planning from execution lets the
+// HTTP handler reject a bad request with a JSON 400 before committing to a
+// streaming response.
+type SweepPlan struct {
+	points []sweep.Point
+	sp     core.SimParams
+}
+
+// NumPoints returns the number of grid points the plan will evaluate.
+func (p *SweepPlan) NumPoints() int { return len(p.points) }
+
+// PlanSweep validates a sweep request — design aliases, axis bounds, grid
+// size, and total simulation work — and expands it into its ordered points.
+func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
+	if req.Runs < 0 || req.Runs > MaxRuns {
+		return nil, invalidf("runs must be in [0,%d], got %d", MaxRuns, req.Runs)
+	}
+	// Bound the p axis before NumPoints/Expand: PValues materializes
+	// p_points floats, so a huge count must be rejected before it can
+	// allocate, not after.
+	if req.PPoints < 0 || req.PPoints > MaxSweepPoints {
+		return nil, invalidf("p_points must be in [0,%d], got %d", MaxSweepPoints, req.PPoints)
+	}
+	if len(req.Ps) > MaxSweepPoints {
+		return nil, invalidf("ps has %d entries, cap is %d", len(req.Ps), MaxSweepPoints)
+	}
+	// Bound the remaining axis lists as well, so NumPoints' product of
+	// list lengths cannot overflow.
+	for _, axis := range []struct {
+		name string
+		n    int
+	}{
+		{"strategies", len(req.Strategies)},
+		{"designs", len(req.Designs)},
+		{"n_primaries", len(req.NPrimaries)},
+		{"spare_rows", len(req.SpareRows)},
+	} {
+		if axis.n > MaxSweepPoints {
+			return nil, invalidf("%s has %d entries, cap is %d", axis.name, axis.n, MaxSweepPoints)
+		}
+	}
+	// Duplicate axis entries would expand to duplicate grid points, whose
+	// cached flags depend on which concurrent twin wins the single-flight —
+	// breaking the documented byte-reproducibility of the stream. Reject
+	// them (post-canonicalization, so "DTMB(2,6)" and "dtmb26" collide).
+	designs := make([]string, 0, len(req.Designs))
+	seenDesign := make(map[string]bool, len(req.Designs))
+	for _, name := range req.Designs {
+		d, err := resolveDesign(name)
+		if err != nil {
+			return nil, err
+		}
+		if seenDesign[d.Name] {
+			return nil, invalidf("designs lists %s twice", d.Name)
+		}
+		seenDesign[d.Name] = true
+		designs = append(designs, d.Name)
+	}
+	seenStrategy := make(map[string]bool, len(req.Strategies))
+	for _, s := range req.Strategies {
+		if seenStrategy[s] {
+			return nil, invalidf("strategies lists %q twice", s)
+		}
+		seenStrategy[s] = true
+	}
+	seenN := make(map[int]bool, len(req.NPrimaries))
+	for _, n := range req.NPrimaries {
+		if n <= 0 || n > MaxNPrimary {
+			return nil, invalidf("n_primaries entries must be in [1,%d], got %d", MaxNPrimary, n)
+		}
+		if seenN[n] {
+			return nil, invalidf("n_primaries lists %d twice", n)
+		}
+		seenN[n] = true
+	}
+	seenRows := make(map[int]bool, len(req.SpareRows))
+	for _, r := range req.SpareRows {
+		if r < 1 || r > MaxNPrimary {
+			return nil, invalidf("spare_rows entries must be in [1,%d], got %d", MaxNPrimary, r)
+		}
+		if seenRows[r] {
+			return nil, invalidf("spare_rows lists %d twice", r)
+		}
+		seenRows[r] = true
+	}
+	seenP := make(map[float64]bool, len(req.Ps))
+	for _, p := range req.Ps {
+		if seenP[p] {
+			return nil, invalidf("ps lists %v twice", p)
+		}
+		seenP[p] = true
+	}
+	spec := sweep.Spec{
+		Designs:    designs,
+		NPrimaries: req.NPrimaries,
+		Ps:         req.Ps,
+		PMin:       req.PMin,
+		PMax:       req.PMax,
+		PPoints:    req.PPoints,
+		SpareRows:  req.SpareRows,
+	}
+	for _, s := range req.Strategies {
+		spec.Strategies = append(spec.Strategies, sweep.Strategy(s))
+	}
+	if n := spec.NumPoints(); n > MaxSweepPoints {
+		return nil, invalidf("sweep has %d grid points, cap is %d", n, MaxSweepPoints)
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		return nil, invalidf("%v", err)
+	}
+	sp := e.simParams(req.Runs, req.Seed)
+	var totalWork int64
+	for _, pt := range pts {
+		cells := 0
+		switch pt.Strategy {
+		case sweep.Local:
+			cells = pt.NPrimary
+		case sweep.Shifted:
+			pl, err := sqgrid.PlacementWithPrimaryTarget(pt.NPrimary, pt.SpareRows)
+			if err != nil {
+				return nil, invalidf("%v", err)
+			}
+			cells = pl.Grid.NumCells()
+		}
+		if cells == 0 {
+			continue // closed-form point, no simulation
+		}
+		if err := validateWork(sp.Runs, cells); err != nil {
+			return nil, err
+		}
+		totalWork += int64(sp.Runs) * int64(cells)
+	}
+	if totalWork > MaxSweepWork {
+		return nil, invalidf("sweep total work %d (runs × cells summed over the grid) exceeds cap %d", totalWork, MaxSweepWork)
+	}
+	return &SweepPlan{points: pts, sp: sp}, nil
+}
+
+// RunSweep evaluates the plan's points with the engine's bounded concurrency
+// and emits one record per point, strictly in point order. Every Monte-Carlo
+// point passes through the same cache, single-flight, and admission layers
+// as /v1/yield — a local-strategy sweep point and an equivalent /v1/yield
+// request share one cache entry.
+func (e *Engine) RunSweep(ctx context.Context, plan *SweepPlan, emit func(SweepRecord) error) error {
+	return sweep.Run(ctx, plan.points, e.cfg.MaxConcurrent, e.sweepEval(plan.sp), func(r sweep.PointResult) error {
+		return emit(sweepRecord(r))
+	})
+}
+
+// Sweep is PlanSweep followed by RunSweep, for callers that do not need the
+// validation/streaming split.
+func (e *Engine) Sweep(ctx context.Context, req SweepRequest, emit func(SweepRecord) error) error {
+	plan, err := e.PlanSweep(req)
+	if err != nil {
+		return err
+	}
+	return e.RunSweep(ctx, plan, emit)
+}
+
+// sweepEval routes a grid point to its cached evaluation path.
+func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
+	return func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
+		switch pt.Strategy {
+		case sweep.Local:
+			// Share the /v1/yield cache namespace: identical (design, n, p,
+			// runs, seed) means an identical result either way.
+			resp, err := e.Yield(ctx, YieldRequest{
+				Design:   pt.Design,
+				NPrimary: pt.NPrimary,
+				P:        pt.P,
+				Runs:     sp.Runs,
+				Seed:     sp.Seed,
+			})
+			if err != nil {
+				return sweep.PointResult{}, err
+			}
+			return sweep.PointResult{
+				Point:          pt,
+				NTotal:         resp.NTotal,
+				Runs:           resp.Runs,
+				Seed:           resp.Seed,
+				Yield:          resp.Yield,
+				CILo:           resp.CILo,
+				CIHi:           resp.CIHi,
+				EffectiveYield: resp.EffectiveYield,
+				NoRedundancy:   resp.NoRedundancy,
+				Cached:         resp.Cached,
+			}, nil
+		case sweep.Shifted:
+			return e.shiftedPoint(ctx, pt, sp)
+		default:
+			// Closed form: too cheap to cache or bound.
+			return sweep.Evaluate(ctx, pt, sp)
+		}
+	}
+}
+
+// shiftedPoint evaluates a shifted-replacement grid point through the result
+// cache and admission semaphore, keyed by (n, spare rows, p, runs, seed).
+func (e *Engine) shiftedPoint(ctx context.Context, pt sweep.Point, sp core.SimParams) (sweep.PointResult, error) {
+	key := cacheKey{kind: "shifted", nPrimary: pt.NPrimary, p: pt.P, runs: sp.Runs, seed: sp.Seed, spare: pt.SpareRows}
+	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
+		res, err := sweep.Evaluate(ctx, pt, sp)
+		if err != nil {
+			return nil, err
+		}
+		// The same scenario appears at different indices in different
+		// sweeps; cache it index-free.
+		res.Index = 0
+		return res, nil
+	})
+	if err != nil {
+		return sweep.PointResult{}, err
+	}
+	res := v.(sweep.PointResult)
+	res.Index = pt.Index
+	res.Cached = cached
+	return res, nil
+}
+
+// sweepRecord converts a point result to the wire type.
+func sweepRecord(r sweep.PointResult) SweepRecord {
+	return SweepRecord{
+		Index:          r.Index,
+		Strategy:       string(r.Strategy),
+		Design:         r.Design,
+		NPrimary:       r.NPrimary,
+		SpareRows:      r.SpareRows,
+		NTotal:         r.NTotal,
+		P:              r.P,
+		Runs:           r.Runs,
+		Seed:           r.Seed,
+		Yield:          r.Yield,
+		CILo:           r.CILo,
+		CIHi:           r.CIHi,
+		EffectiveYield: r.EffectiveYield,
+		NoRedundancy:   r.NoRedundancy,
+		Cached:         r.Cached,
+	}
+}

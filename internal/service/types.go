@@ -1,7 +1,7 @@
 // Package service is the online serving layer of the library: an HTTP/JSON
-// API exposing yield simulation, design recommendation, and
-// reconfiguration-plan queries over the core/yieldsim/reconfig/layout
-// machinery.
+// API exposing yield simulation, design recommendation,
+// reconfiguration-plan queries, and streaming parameter sweeps over the
+// core/yieldsim/reconfig/layout/sweep machinery.
 //
 // The package splits into
 //
@@ -9,12 +9,14 @@
 //   - cache.go: a bounded LRU over finished simulation results,
 //   - flight.go: single-flight deduplication of concurrent identical work,
 //   - engine.go: the batched simulation engine combining the three,
-//   - handlers.go: the HTTP handlers and error mapping,
+//   - sweep.go: parameter-grid planning and cached point evaluation,
+//   - handlers.go: the HTTP handlers, NDJSON streaming, and error mapping,
 //   - server.go: server construction and graceful lifecycle.
 //
 // Simulation endpoints are deterministic in their request parameters (the
 // chunk-seeded Monte-Carlo kernel is independent of worker count), which is
-// what makes caching by request key sound.
+// what makes caching by request key sound — and, combined with ordered
+// emission, what makes sweep responses byte-reproducible.
 package service
 
 import (
@@ -45,6 +47,12 @@ const (
 	// MaxFaultyCells caps a reconfigure request's fault list; anything
 	// larger than every cell of the largest admissible array is noise.
 	MaxFaultyCells = 500_000
+	// MaxSweepPoints caps the grid size of one sweep request.
+	MaxSweepPoints = 20_000
+	// MaxSweepWork caps the summed runs × n_primary of a whole sweep — a
+	// sweep is one request, so its total cost is bounded like (a few of)
+	// the single-point requests it replaces.
+	MaxSweepWork = 10 * int64(MaxWork)
 )
 
 // validateWork bounds the total simulated trial-cells of one request; the
@@ -198,6 +206,69 @@ type ReconfigureResponse struct {
 	FaultyPrimaries int   `json:"faulty_primaries"`
 	FaultySpares    int   `json:"faulty_spares"`
 	NTotal          int   `json:"n_total"`
+}
+
+// SweepRequest asks for a Cartesian grid of yield scenarios, streamed back
+// as one NDJSON record per grid point. Every axis is optional; the defaults
+// reproduce the paper's Fig. 9 setting (the four canonical designs at
+// n = 100, p from 0.90 to 1.00 in 11 steps, local reconfiguration).
+type SweepRequest struct {
+	// Strategies lists redundancy schemes: "none" (p^n baseline), "local"
+	// (DTMB interstitial redundancy, the paper's proposal) and/or "shifted"
+	// (boundary spare rows, the Fig. 2 baseline). Empty means ["local"].
+	Strategies []string `json:"strategies,omitempty"`
+	// Designs lists DTMB designs for the local strategy; names and compact
+	// aliases are accepted as in /v1/yield. Empty means the canonical four.
+	Designs []string `json:"designs,omitempty"`
+	// NPrimaries lists primary-cell counts; empty means [100].
+	NPrimaries []int `json:"n_primaries,omitempty"`
+	// Ps lists explicit survival probabilities; when empty the range
+	// [p_min, p_max] is sampled at p_points evenly spaced values
+	// (defaults: 0.90, 1.00, 11).
+	Ps      []float64 `json:"ps,omitempty"`
+	PMin    float64   `json:"p_min,omitempty"`
+	PMax    float64   `json:"p_max,omitempty"`
+	PPoints int       `json:"p_points,omitempty"`
+	// SpareRows lists boundary spare-row counts for the shifted strategy;
+	// empty means [1].
+	SpareRows []int `json:"spare_rows,omitempty"`
+	// Runs is the Monte-Carlo run count per grid point; 0 means the engine
+	// default. Closed-form (none-strategy) points ignore it.
+	Runs int `json:"runs,omitempty"`
+	// Seed makes every grid point reproducible and cacheable.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SweepRecord is one NDJSON line of a sweep response: the grid point's
+// coordinates followed by its yield analysis. Records arrive in
+// deterministic point order (index ascending), so a sweep's byte stream is
+// a pure function of the request for a fresh cache.
+type SweepRecord struct {
+	Index    int    `json:"index"`
+	Strategy string `json:"strategy"`
+	// Design is set for local-strategy points, e.g. "DTMB(2,6)".
+	Design   string `json:"design,omitempty"`
+	NPrimary int    `json:"n_primary"`
+	// SpareRows is set for shifted-strategy points.
+	SpareRows int     `json:"spare_rows,omitempty"`
+	NTotal    int     `json:"n_total"`
+	P         float64 `json:"p"`
+	// Runs is 0 for closed-form (none-strategy) points.
+	Runs           int     `json:"runs"`
+	Seed           int64   `json:"seed"`
+	Yield          float64 `json:"yield"`
+	CILo           float64 `json:"ci_lo"`
+	CIHi           float64 `json:"ci_hi"`
+	EffectiveYield float64 `json:"effective_yield"`
+	NoRedundancy   float64 `json:"no_redundancy"`
+	Cached         bool    `json:"cached,omitempty"`
+}
+
+// SweepError is the trailing NDJSON record of a sweep that failed after
+// streaming began; its presence (any record with a non-empty "error") tells
+// a client the stream is incomplete.
+type SweepError struct {
+	Error string `json:"error"`
 }
 
 // StatsResponse reports engine health: cache effectiveness and in-flight

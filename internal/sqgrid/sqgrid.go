@@ -2,6 +2,13 @@
 // the first-generation fabricated biochip (paper Fig. 11) and the
 // boundary-spare-row arrays used by the shifted-replacement baseline that the
 // paper argues against (Fig. 2).
+//
+// A Placement arranges rectangular modules (mixers, detectors, storage) on a
+// Grid, optionally reserving spare rows at the bottom boundary — the classic
+// row-redundancy arrangement whose repair cascades package reconfig
+// implements. PlacementWithPrimaryTarget builds such arrays with an exact
+// working-cell count, the knob the yield sweeps vary when comparing boundary
+// redundancy against the paper's interstitial designs.
 package sqgrid
 
 import (
@@ -184,6 +191,46 @@ func (p Placement) UsedCells() []Coord {
 		return out[i].X < out[j].X
 	})
 	return out
+}
+
+// PlacementWithPrimaryTarget builds a spare-row placement with exactly
+// nPrimary working (module-covered) cells and the given number of boundary
+// spare rows — the square-grid counterpart of layout.BuildWithPrimaryTarget,
+// used to compare shifted replacement against interstitial redundancy at
+// equal primary-cell counts. The working area is a near-square block of
+// width ceil(sqrt(nPrimary)): full rows sit next to the spare rows (so
+// cascades stay short where the array is dense) and any partial row sits at
+// the top. Spare rows occupy the bottom of the grid, as in the paper's
+// Fig. 2.
+func PlacementWithPrimaryTarget(nPrimary, spareRows int) (Placement, error) {
+	if nPrimary <= 0 {
+		return Placement{}, fmt.Errorf("sqgrid: primary target %d must be positive", nPrimary)
+	}
+	if spareRows < 1 {
+		return Placement{}, fmt.Errorf("sqgrid: spare-row count %d must be at least 1", spareRows)
+	}
+	w := 1
+	for w*w < nPrimary {
+		w++
+	}
+	usable := (nPrimary + w - 1) / w
+	rem := nPrimary - w*(usable-1) // cells in the partial top row (0 < rem <= w)
+	p := Placement{
+		Grid:      Grid{W: w, H: usable + spareRows},
+		SpareRows: spareRows,
+	}
+	if rem == w {
+		p.Modules = []Module{{Name: "work", X: 0, Y: 0, W: w, H: usable}}
+	} else {
+		p.Modules = []Module{{Name: "work-top", X: 0, Y: 0, W: rem, H: 1}}
+		if usable > 1 {
+			p.Modules = append(p.Modules, Module{Name: "work", X: 0, Y: 1, W: w, H: usable - 1})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Placement{}, err
+	}
+	return p, nil
 }
 
 // Figure2Placement reproduces the arrangement of the paper's Fig. 2: three

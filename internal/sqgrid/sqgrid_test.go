@@ -190,3 +190,49 @@ func TestFigure2PlacementStructure(t *testing.T) {
 		t.Error("Module 3 must touch the top boundary")
 	}
 }
+
+func TestPlacementWithPrimaryTargetExactCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 60, 100, 101, 240} {
+		for _, rows := range []int{1, 2, 3} {
+			p, err := PlacementWithPrimaryTarget(n, rows)
+			if err != nil {
+				t.Fatalf("n=%d rows=%d: %v", n, rows, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("n=%d rows=%d: %v", n, rows, err)
+			}
+			if got := len(p.UsedCells()); got != n {
+				t.Errorf("n=%d rows=%d: %d used cells", n, rows, got)
+			}
+			if p.SpareRows != rows {
+				t.Errorf("n=%d: spare rows %d, want %d", n, p.SpareRows, rows)
+			}
+			if p.Grid.NumCells() <= n {
+				t.Errorf("n=%d rows=%d: total %d must exceed n", n, rows, p.Grid.NumCells())
+			}
+		}
+	}
+}
+
+func TestPlacementWithPrimaryTargetFullRowsTouchSpares(t *testing.T) {
+	// The partial row (4 cells of width 5) must sit at the top, away from
+	// the spare rows.
+	p, err := PlacementWithPrimaryTarget(24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range p.Modules {
+		if m.W < p.Grid.W && m.Y != 0 {
+			t.Errorf("partial module %+v not at the top", m)
+		}
+	}
+}
+
+func TestPlacementWithPrimaryTargetRejectsBadInputs(t *testing.T) {
+	if _, err := PlacementWithPrimaryTarget(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := PlacementWithPrimaryTarget(10, 0); err == nil {
+		t.Error("0 spare rows accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"dmfb/internal/core"
+	"dmfb/internal/layout"
+	"dmfb/internal/sqgrid"
+	"dmfb/internal/yieldsim"
+)
+
+// PointResult is the outcome of evaluating one grid point.
+type PointResult struct {
+	Point
+	// NTotal is the total cell count of the evaluated array (primaries plus
+	// spares; equals NPrimary for the no-redundancy strategy).
+	NTotal int
+	// Runs and Seed record the Monte-Carlo parameters that produced the
+	// estimate. Runs is 0 for closed-form (no-redundancy) points.
+	Runs int
+	Seed int64
+	// Yield is the estimated (or exact) yield, with its Wilson 95% interval.
+	Yield, CILo, CIHi float64
+	// EffectiveYield is Y·n/N, the paper's yield-per-area metric.
+	EffectiveYield float64
+	// NoRedundancy is the p^n baseline at this point's n and p.
+	NoRedundancy float64
+	// Cached reports that a caching evaluator (the service engine) served
+	// the point from its result cache; always false for direct evaluation.
+	Cached bool
+}
+
+// YieldResult converts the estimate back to a yieldsim.Result for consumers
+// of the older sweep-free APIs. Successes is reconstructed from the yield
+// proportion, which is exact because the proportion is a ratio of integers.
+func (r PointResult) YieldResult() yieldsim.Result {
+	return yieldsim.Result{
+		Yield:     r.Yield,
+		Runs:      r.Runs,
+		Successes: int(math.Round(r.Yield * float64(r.Runs))),
+		CILo:      r.CILo,
+		CIHi:      r.CIHi,
+	}
+}
+
+// Evaluate computes one grid point directly — no caching, no admission
+// control — through the same core/yieldsim code path the service engine
+// uses, so both produce identical numbers for identical (point, params).
+func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, error) {
+	switch pt.Strategy {
+	case None:
+		y := yieldsim.NoRedundancy(pt.P, pt.NPrimary)
+		return PointResult{
+			Point:          pt,
+			NTotal:         pt.NPrimary,
+			Seed:           sp.Seed,
+			Yield:          y,
+			CILo:           y,
+			CIHi:           y,
+			EffectiveYield: y,
+			NoRedundancy:   y,
+		}, nil
+	case Local:
+		design, err := layout.DesignByName(pt.Design)
+		if err != nil {
+			return PointResult{}, fmt.Errorf("sweep: %w", err)
+		}
+		chip, err := core.New(design, pt.NPrimary)
+		if err != nil {
+			return PointResult{}, err
+		}
+		ya, err := chip.AnalyzeYieldContext(ctx, pt.P, sp)
+		if err != nil {
+			return PointResult{}, err
+		}
+		return PointResult{
+			Point:          pt,
+			NTotal:         ya.NTotal,
+			Runs:           sp.MonteCarlo().Runs,
+			Seed:           sp.Seed,
+			Yield:          ya.Yield,
+			CILo:           ya.CILo,
+			CIHi:           ya.CIHi,
+			EffectiveYield: ya.EffectiveYield,
+			NoRedundancy:   ya.NoRedundancy,
+		}, nil
+	case Shifted:
+		pl, err := sqgrid.PlacementWithPrimaryTarget(pt.NPrimary, pt.SpareRows)
+		if err != nil {
+			return PointResult{}, err
+		}
+		mc := sp.MonteCarlo()
+		res, err := mc.ShiftedYieldContext(ctx, pl, pt.P)
+		if err != nil {
+			return PointResult{}, err
+		}
+		nTotal := pl.Grid.NumCells()
+		return PointResult{
+			Point:          pt,
+			NTotal:         nTotal,
+			Runs:           mc.Runs,
+			Seed:           sp.Seed,
+			Yield:          res.Yield,
+			CILo:           res.CILo,
+			CIHi:           res.CIHi,
+			EffectiveYield: yieldsim.EffectiveYieldCells(res.Yield, pt.NPrimary, nTotal),
+			NoRedundancy:   yieldsim.NoRedundancy(pt.P, pt.NPrimary),
+		}, nil
+	}
+	return PointResult{}, fmt.Errorf("sweep: unknown strategy %q", pt.Strategy)
+}
+
+// Evaluator adapts Evaluate with fixed simulation parameters to an EvalFunc
+// for Run.
+func Evaluator(sp core.SimParams) EvalFunc {
+	return func(ctx context.Context, pt Point) (PointResult, error) {
+		return Evaluate(ctx, pt, sp)
+	}
+}

@@ -1,0 +1,238 @@
+// Package sweep evaluates Cartesian grids of yield scenarios — survival
+// probability × array size × redundancy strategy — in one pass, reproducing
+// the families of yield-vs-defect-probability curves that carry the paper's
+// evaluation (Figs. 7, 9, 10) and the parameter-grid studies of the
+// companion fault-tolerance work.
+//
+// A Spec names the axes of the grid; Expand flattens it into a deterministic
+// ordered list of Points; Run evaluates the points with bounded concurrency
+// while emitting results strictly in point order, so sweep output is
+// byte-identical no matter how many workers execute it. Evaluate is the
+// direct (uncached) evaluator over the core/yieldsim machinery; the service
+// engine wraps the same Point type with its LRU cache and single-flight
+// layer so every grid point of an HTTP sweep is individually cacheable.
+//
+// Three redundancy strategies are understood:
+//
+//   - "none": no spares at all; yield is the closed form p^n.
+//   - "local": a DTMB(s,p) interstitial-redundancy design repaired by local
+//     reconfiguration (the paper's proposal), estimated by the chunk-seeded
+//     Monte-Carlo kernel.
+//   - "shifted": a square array with boundary spare rows repaired by shifted
+//     replacement (the baseline of the paper's Fig. 2), estimated by the
+//     same kernel over sqgrid placements.
+package sweep
+
+import (
+	"fmt"
+
+	"dmfb/internal/layout"
+	"dmfb/internal/stats"
+)
+
+// Strategy names a redundancy/reconfiguration scheme.
+type Strategy string
+
+// The three supported strategies.
+const (
+	// None is the no-redundancy baseline: any fault discards the chip.
+	None Strategy = "none"
+	// Local is interstitial redundancy with local reconfiguration, the
+	// paper's proposal. Points carry a DTMB design name.
+	Local Strategy = "local"
+	// Shifted is boundary spare rows with shifted replacement, the baseline
+	// of the paper's Fig. 2. Points carry a spare-row count.
+	Shifted Strategy = "shifted"
+)
+
+// valid reports whether s is a known strategy.
+func (s Strategy) valid() bool {
+	switch s {
+	case None, Local, Shifted:
+		return true
+	}
+	return false
+}
+
+// Spec describes a sweep grid. Zero-valued axes take the defaults noted on
+// each field; every combination of the applicable axes becomes one Point.
+type Spec struct {
+	// Strategies lists the redundancy schemes to evaluate; empty means
+	// {Local}.
+	Strategies []Strategy
+	// Designs lists DTMB design names for the Local strategy (canonical
+	// names as produced by layout, e.g. "DTMB(2,6)"); empty means the four
+	// canonical Table 1 designs. Ignored by None and Shifted.
+	Designs []string
+	// NPrimaries lists primary-cell counts n; empty means {100}.
+	NPrimaries []int
+	// Ps lists explicit survival probabilities. When empty, the range
+	// [PMin, PMax] is sampled at PPoints evenly spaced values.
+	Ps []float64
+	// PMin, PMax, PPoints define the sampled range when Ps is empty; zero
+	// values mean the paper's 0.90..1.00 at 11 points.
+	PMin, PMax float64
+	PPoints    int
+	// SpareRows lists boundary spare-row counts for the Shifted strategy;
+	// empty means {1}. Ignored by None and Local.
+	SpareRows []int
+}
+
+// withDefaults fills the documented defaults for empty axes.
+func (s Spec) withDefaults() Spec {
+	if len(s.Strategies) == 0 {
+		s.Strategies = []Strategy{Local}
+	}
+	if len(s.Designs) == 0 {
+		for _, d := range layout.AllDesigns() {
+			s.Designs = append(s.Designs, d.Name)
+		}
+	}
+	if len(s.NPrimaries) == 0 {
+		s.NPrimaries = []int{100}
+	}
+	// The range fields default independently, so e.g. a spec setting only
+	// PPoints still sweeps the paper's 0.90..1.00 band rather than a
+	// degenerate [0,0] range.
+	if len(s.Ps) == 0 {
+		if s.PMin == 0 && s.PMax == 0 {
+			s.PMin, s.PMax = 0.90, 1.00
+		}
+		if s.PPoints == 0 {
+			s.PPoints = 11
+		}
+	}
+	if len(s.SpareRows) == 0 {
+		s.SpareRows = []int{1}
+	}
+	return s
+}
+
+// PValues returns the survival probabilities the sweep samples.
+func (s Spec) PValues() []float64 {
+	s = s.withDefaults()
+	if len(s.Ps) > 0 {
+		return s.Ps
+	}
+	if s.PPoints == 1 {
+		return []float64{s.PMin}
+	}
+	return stats.Linspace(s.PMin, s.PMax, s.PPoints)
+}
+
+// validate checks the axes of an already-defaulted spec.
+func (s Spec) validate() error {
+	for _, st := range s.Strategies {
+		if !st.valid() {
+			return fmt.Errorf("sweep: unknown strategy %q (want none, local or shifted)", st)
+		}
+	}
+	for _, name := range s.Designs {
+		if _, err := layout.DesignByName(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, n := range s.NPrimaries {
+		if n <= 0 {
+			return fmt.Errorf("sweep: primary-cell count %d must be positive", n)
+		}
+	}
+	if len(s.Ps) == 0 {
+		if s.PPoints < 1 {
+			return fmt.Errorf("sweep: p_points %d must be at least 1", s.PPoints)
+		}
+		if s.PMin > s.PMax {
+			return fmt.Errorf("sweep: p range [%v,%v] is inverted", s.PMin, s.PMax)
+		}
+	}
+	for _, p := range s.PValues() {
+		if p != p || p < 0 || p > 1 {
+			return fmt.Errorf("sweep: survival probability %v outside [0,1]", p)
+		}
+	}
+	for _, r := range s.SpareRows {
+		if r < 1 {
+			return fmt.Errorf("sweep: spare-row count %d must be at least 1", r)
+		}
+	}
+	return nil
+}
+
+// NumPoints returns the number of grid points Expand would produce.
+func (s Spec) NumPoints() int {
+	s = s.withDefaults()
+	nps := len(s.NPrimaries) * len(s.PValues())
+	total := 0
+	for _, st := range s.Strategies {
+		switch st {
+		case Local:
+			total += len(s.Designs) * nps
+		case Shifted:
+			total += len(s.SpareRows) * nps
+		default:
+			total += nps
+		}
+	}
+	return total
+}
+
+// Point is one scenario of a sweep grid: a redundancy strategy with its
+// strategy-specific axis value, an array size, and a survival probability.
+type Point struct {
+	// Index is the point's position in the sweep's deterministic order.
+	Index int
+	// Strategy selects the redundancy/reconfiguration scheme.
+	Strategy Strategy
+	// Design is the DTMB design name (Local strategy only; "" otherwise).
+	Design string
+	// NPrimary is the number of working cells n.
+	NPrimary int
+	// SpareRows is the boundary spare-row count (Shifted only; 0 otherwise).
+	SpareRows int
+	// P is the cell survival probability.
+	P float64
+}
+
+// Expand validates the spec and flattens it into its ordered point list.
+// The order is deterministic: strategies in the given order; within a
+// strategy the applicable strategy axis (design or spare rows) varies
+// slowest, then NPrimary, then P fastest.
+func (s Spec) Expand() ([]Point, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	ps := s.PValues()
+	pts := make([]Point, 0, s.NumPoints())
+	add := func(pt Point) {
+		pt.Index = len(pts)
+		pts = append(pts, pt)
+	}
+	for _, st := range s.Strategies {
+		switch st {
+		case Local:
+			for _, d := range s.Designs {
+				for _, n := range s.NPrimaries {
+					for _, p := range ps {
+						add(Point{Strategy: Local, Design: d, NPrimary: n, P: p})
+					}
+				}
+			}
+		case Shifted:
+			for _, r := range s.SpareRows {
+				for _, n := range s.NPrimaries {
+					for _, p := range ps {
+						add(Point{Strategy: Shifted, SpareRows: r, NPrimary: n, P: p})
+					}
+				}
+			}
+		default:
+			for _, n := range s.NPrimaries {
+				for _, p := range ps {
+					add(Point{Strategy: None, NPrimary: n, P: p})
+				}
+			}
+		}
+	}
+	return pts, nil
+}

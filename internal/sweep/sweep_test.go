@@ -1,0 +1,401 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmfb/internal/core"
+	"dmfb/internal/layout"
+	"dmfb/internal/yieldsim"
+)
+
+func TestSpecDefaultsAndNumPoints(t *testing.T) {
+	var s Spec
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: local strategy, four canonical designs, n=100, 11 ps.
+	if want := 4 * 11; len(pts) != want {
+		t.Fatalf("default spec expands to %d points, want %d", len(pts), want)
+	}
+	if got := s.NumPoints(); got != len(pts) {
+		t.Errorf("NumPoints %d != len(Expand) %d", got, len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Index != i {
+			t.Fatalf("point %d carries index %d", i, pt.Index)
+		}
+		if pt.Strategy != Local || pt.Design == "" || pt.SpareRows != 0 {
+			t.Fatalf("default point %d malformed: %+v", i, pt)
+		}
+	}
+}
+
+func TestSpecExpandAxesPerStrategy(t *testing.T) {
+	s := Spec{
+		Strategies: []Strategy{None, Local, Shifted},
+		Designs:    []string{"DTMB(2,6)"},
+		NPrimaries: []int{30, 60},
+		Ps:         []float64{0.9, 0.95, 1.0},
+		SpareRows:  []int{1, 2},
+	}
+	pts, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// none: 2*3, local: 1*2*3, shifted: 2*2*3.
+	if want := 6 + 6 + 12; len(pts) != want {
+		t.Fatalf("%d points, want %d", len(pts), want)
+	}
+	if got := s.NumPoints(); got != len(pts) {
+		t.Errorf("NumPoints %d != %d", got, len(pts))
+	}
+	for _, pt := range pts {
+		switch pt.Strategy {
+		case None:
+			if pt.Design != "" || pt.SpareRows != 0 {
+				t.Errorf("none point carries strategy axes: %+v", pt)
+			}
+		case Local:
+			if pt.Design == "" || pt.SpareRows != 0 {
+				t.Errorf("local point malformed: %+v", pt)
+			}
+		case Shifted:
+			if pt.Design != "" || pt.SpareRows < 1 {
+				t.Errorf("shifted point malformed: %+v", pt)
+			}
+		}
+	}
+	// Expansion is deterministic.
+	again, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pts, again) {
+		t.Error("Expand is not deterministic")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{Strategies: []Strategy{"bogus"}},
+		{Designs: []string{"DTMB(9,9)"}},
+		{NPrimaries: []int{0}},
+		{Ps: []float64{1.5}},
+		{Ps: []float64{math.NaN()}},
+		{PMin: 0.9, PMax: 0.8, PPoints: 3},
+		{PMin: 0.9, PMax: 1.0, PPoints: -1},
+		{SpareRows: []int{0}, Strategies: []Strategy{Shifted}},
+	}
+	for i, s := range cases {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("case %d: invalid spec %+v accepted", i, s)
+		}
+	}
+}
+
+func TestRunEmitsInPointOrder(t *testing.T) {
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+	}
+	// Later points finish first: early indices sleep longest.
+	eval := func(ctx context.Context, pt Point) (PointResult, error) {
+		time.Sleep(time.Duration(len(pts)-pt.Index) * time.Millisecond)
+		return PointResult{Point: pt}, nil
+	}
+	var order []int
+	err := Run(context.Background(), pts, 8, eval, func(r PointResult) error {
+		order = append(order, r.Index)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("emission order %v not ascending", order)
+		}
+	}
+	if len(order) != len(pts) {
+		t.Fatalf("emitted %d of %d points", len(order), len(pts))
+	}
+}
+
+func TestRunResultsIndependentOfWorkerCount(t *testing.T) {
+	spec := Spec{
+		Strategies: []Strategy{None, Local, Shifted},
+		Designs:    []string{"DTMB(2,6)", "DTMB(4,4)"},
+		NPrimaries: []int{24},
+		Ps:         []float64{0.9, 0.97},
+		SpareRows:  []int{1},
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := core.SimParams{Runs: 300, Seed: 42}
+	collect := func(workers int) []PointResult {
+		var out []PointResult
+		if err := Run(context.Background(), pts, workers, Evaluator(sp), func(r PointResult) error {
+			out = append(out, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	one := collect(1)
+	four := collect(4)
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("results differ across worker counts:\n1: %+v\n4: %+v", one, four)
+	}
+}
+
+func TestRunFirstErrorWinsAndStopsEmission(t *testing.T) {
+	pts := make([]Point, 12)
+	for i := range pts {
+		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+	}
+	boom := errors.New("boom")
+	eval := func(ctx context.Context, pt Point) (PointResult, error) {
+		if pt.Index == 5 {
+			return PointResult{}, boom
+		}
+		return PointResult{Point: pt}, nil
+	}
+	var emitted []int
+	err := Run(context.Background(), pts, 4, eval, func(r PointResult) error {
+		emitted = append(emitted, r.Index)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(emitted) != 5 {
+		t.Fatalf("emitted %v, want exactly indices 0..4", emitted)
+	}
+}
+
+func TestRunEmitErrorCancels(t *testing.T) {
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+	}
+	stop := errors.New("client gone")
+	var calls atomic.Int32
+	err := Run(context.Background(), pts, 2,
+		func(ctx context.Context, pt Point) (PointResult, error) {
+			calls.Add(1)
+			return PointResult{Point: pt}, nil
+		},
+		func(r PointResult) error {
+			if r.Index == 2 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+}
+
+func TestRunCancellationLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	spec := Spec{
+		Strategies: []Strategy{Local},
+		Designs:    []string{"DTMB(2,6)"},
+		NPrimaries: []int{80},
+		PMin:       0.90, PMax: 0.99, PPoints: 40,
+	}
+	pts, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := core.SimParams{Runs: 200000, Seed: 1} // long enough to be mid-flight
+	emitted := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, pts, 4, Evaluator(sp), func(r PointResult) error {
+			emitted++
+			return nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	// Run joins its workers before returning; give the runtime a moment to
+	// retire exiting goroutines, then require the count to come back down.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestEvaluateNoneMatchesClosedForm(t *testing.T) {
+	pt := Point{Strategy: None, NPrimary: 50, P: 0.97}
+	res, err := Evaluate(context.Background(), pt, core.SimParams{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := yieldsim.NoRedundancy(0.97, 50)
+	if res.Yield != want || res.CILo != want || res.CIHi != want || res.EffectiveYield != want {
+		t.Errorf("none point %+v, want closed form %v everywhere", res, want)
+	}
+	if res.Runs != 0 || res.NTotal != 50 {
+		t.Errorf("none point metadata %+v", res)
+	}
+}
+
+func TestEvaluateLocalMatchesCore(t *testing.T) {
+	sp := core.SimParams{Runs: 500, Seed: 99}
+	pt := Point{Strategy: Local, Design: "DTMB(2,6)", NPrimary: 40, P: 0.95}
+	res, err := Evaluate(context.Background(), pt, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := core.New(layout.DTMB26(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ya, err := chip.AnalyzeYieldContext(context.Background(), 0.95, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != ya.Yield || res.CILo != ya.CILo || res.EffectiveYield != ya.EffectiveYield {
+		t.Errorf("sweep %+v disagrees with core %+v", res, ya)
+	}
+	if res.Runs != 500 || res.NTotal != ya.NTotal {
+		t.Errorf("metadata %+v vs %+v", res, ya)
+	}
+}
+
+func TestEvaluateShiftedBasics(t *testing.T) {
+	sp := core.SimParams{Runs: 400, Seed: 3}
+	at := func(p float64) PointResult {
+		res, err := Evaluate(context.Background(), Point{Strategy: Shifted, NPrimary: 36, SpareRows: 1, P: p}, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if y := at(1.0).Yield; y != 1 {
+		t.Errorf("yield at p=1 is %v, want 1", y)
+	}
+	lo, hi := at(0.90), at(0.99)
+	if lo.Yield >= hi.Yield {
+		t.Errorf("shifted yield not increasing in p: %v at 0.90 vs %v at 0.99", lo.Yield, hi.Yield)
+	}
+	if lo.NTotal <= lo.NPrimary {
+		t.Errorf("shifted NTotal %d must exceed n %d (spare rows)", lo.NTotal, lo.NPrimary)
+	}
+	if want := yieldsim.NoRedundancy(0.90, 36); lo.NoRedundancy != want {
+		t.Errorf("baseline %v, want %v", lo.NoRedundancy, want)
+	}
+}
+
+func TestEvaluateUnknownStrategy(t *testing.T) {
+	if _, err := Evaluate(context.Background(), Point{Strategy: "bogus", NPrimary: 10, P: 0.9}, core.SimParams{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestYieldResultReconstructsSuccesses(t *testing.T) {
+	for _, succ := range []int{0, 1, 123, 400} {
+		r := PointResult{Runs: 400, Yield: float64(succ) / 400}
+		if got := r.YieldResult().Successes; got != succ {
+			t.Errorf("successes %d, want %d", got, succ)
+		}
+	}
+}
+
+func TestPValuesSinglePoint(t *testing.T) {
+	s := Spec{PMin: 0.95, PMax: 0.95, PPoints: 1}
+	ps := s.PValues()
+	if len(ps) != 1 || ps[0] != 0.95 {
+		t.Errorf("PValues = %v", ps)
+	}
+}
+
+func ExampleSpec_Expand() {
+	s := Spec{
+		Strategies: []Strategy{Local},
+		Designs:    []string{"DTMB(2,6)"},
+		NPrimaries: []int{100},
+		Ps:         []float64{0.95, 0.99},
+	}
+	pts, _ := s.Expand()
+	for _, pt := range pts {
+		fmt.Printf("%d %s %s n=%d p=%v\n", pt.Index, pt.Strategy, pt.Design, pt.NPrimary, pt.P)
+	}
+	// Output:
+	// 0 local DTMB(2,6) n=100 p=0.95
+	// 1 local DTMB(2,6) n=100 p=0.99
+}
+
+func TestRunRealErrorNotMaskedByCancellation(t *testing.T) {
+	// An eval failure at a later index must not abort slower earlier
+	// points into context errors that then mask it: the prefix before the
+	// failing index is always emitted and the real error is returned.
+	pts := make([]Point, 6)
+	for i := range pts {
+		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+	}
+	boom := errors.New("boom")
+	eval := func(ctx context.Context, pt Point) (PointResult, error) {
+		if pt.Index == 3 {
+			return PointResult{}, boom
+		}
+		time.Sleep(30 * time.Millisecond) // slower than the failure
+		if err := ctx.Err(); err != nil {
+			return PointResult{}, err
+		}
+		return PointResult{Point: pt}, nil
+	}
+	var emitted []int
+	err := Run(context.Background(), pts, 4, eval, func(r PointResult) error {
+		emitted = append(emitted, r.Index)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real eval error", err)
+	}
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %v, want exactly indices 0..2", emitted)
+	}
+}
+
+func TestPPointsOnlyStillSweepsPaperRange(t *testing.T) {
+	s := Spec{PPoints: 5}
+	ps := s.PValues()
+	if len(ps) != 5 || ps[0] != 0.90 || ps[4] != 1.00 {
+		t.Errorf("PValues with only PPoints set = %v, want 0.90..1.00", ps)
+	}
+	s = Spec{PMin: 0.5, PMax: 0.7}
+	ps = s.PValues()
+	if len(ps) != 11 || ps[0] != 0.5 || ps[10] != 0.7 {
+		t.Errorf("PValues with only range set = %v, want 11 points over [0.5,0.7]", ps)
+	}
+}

@@ -9,6 +9,10 @@
 // problem, so yield comes from Monte-Carlo simulation: in each run every
 // cell fails i.i.d. with probability q = 1−p, and the run succeeds iff local
 // reconfiguration (maximum bipartite matching) repairs every faulty primary.
+// A third estimator, ShiftedYield, applies the same trial structure to the
+// boundary-spare-row arrays of the shifted-replacement baseline the paper
+// argues against (Fig. 2), so the two redundancy schemes can be compared on
+// equal footing in parameter sweeps.
 //
 // The effective yield EY = Y·n/N = Y/(1+RR) weighs yield against the area
 // overhead of redundancy (paper Fig. 10).
@@ -24,6 +28,7 @@ import (
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/sqgrid"
 	"dmfb/internal/stats"
 )
 
@@ -287,6 +292,77 @@ func (mc *MonteCarlo) NoRedundancyMCContext(ctx context.Context, arr *layout.Arr
 	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
 		fs = in.Bernoulli(arr, p, fs)
 		return fs, len(fs.FaultyPrimaries(arr)) == 0, nil
+	})
+}
+
+// ShiftedYield estimates the yield of a boundary-spare-row placement under
+// shifted replacement: every cell (working, unused, and spare) fails i.i.d.
+// with probability 1−p, and the chip survives iff every faulty working cell's
+// function can cascade down its column into a spare row (paper Fig. 2).
+// Faults are repaired deepest-first; faulty or already-consumed cells block
+// a cascade, so under this strict adjacent-shifting scheme a column absorbs
+// at most one repair. Spare rows beyond the first therefore add fallible
+// area without adding repair capacity — which is exactly the scaling problem
+// the paper holds against boundary redundancy, and what a sweep over the
+// spare-row axis exhibits as flat yield with falling effective yield.
+func (mc *MonteCarlo) ShiftedYield(pl sqgrid.Placement, p float64) (Result, error) {
+	return mc.ShiftedYieldContext(context.Background(), pl, p)
+}
+
+// ShiftedYieldContext is ShiftedYield with cancellation.
+func (mc *MonteCarlo) ShiftedYieldContext(ctx context.Context, pl sqgrid.Placement, p float64) (Result, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pl.SpareRows < 1 {
+		return Result{}, fmt.Errorf("yieldsim: shifted replacement needs at least one spare row")
+	}
+	// Under the strict scheme survival decomposes per column (cascades are
+	// strictly vertical): a column with no faulty working cell is fine; one
+	// with two or more fails (the shallower cascade is blocked by the deeper
+	// fault); one with exactly one fault at row y survives iff every cell
+	// from y+1 down to the first spare row is fault-free (any faulty cell —
+	// working, unused, or spare — blocks the cascade, whose absorber is the
+	// column's first spare cell). This closed form of the ShiftSession
+	// semantics keeps the trial allocation-free; the equivalence is pinned
+	// by a reference test against reconfig.ShiftSession.
+	used := make([]bool, pl.Grid.NumCells()) // read-only across workers
+	for _, c := range pl.UsedCells() {
+		used[pl.Grid.Index(c)] = true
+	}
+	w, h := pl.Grid.W, pl.Grid.H
+	firstSpare := h - pl.SpareRows
+	n := pl.Grid.NumCells()
+	return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs = in.BernoulliN(n, p, fs)
+		if fs.Count() == 0 {
+			return fs, true, nil
+		}
+		for x := 0; x < w; x++ {
+			faultyUsed, deepest := 0, -1
+			for y := 0; y < firstSpare; y++ {
+				id := layout.CellID(y*w + x)
+				if used[id] && fs.IsFaulty(id) {
+					faultyUsed++
+					deepest = y
+				}
+			}
+			if faultyUsed == 0 {
+				continue
+			}
+			if faultyUsed > 1 {
+				return fs, false, nil
+			}
+			for y := deepest + 1; y <= firstSpare; y++ {
+				if fs.IsFaulty(layout.CellID(y*w + x)) {
+					return fs, false, nil
+				}
+			}
+		}
+		return fs, true, nil
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/sqgrid"
 	"dmfb/internal/stats"
 )
 
@@ -486,6 +488,207 @@ func BenchmarkMonteCarloYieldDTMB26N100(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mc.Yield(arr, 0.95); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestShiftedYieldDegenerateAndInvalid(t *testing.T) {
+	pl, err := sqgrid.PlacementWithPrimaryTarget(36, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(1)
+	mc.Runs = 200
+	res, err := mc.ShiftedYield(pl, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 1 {
+		t.Errorf("yield at p=1 is %v", res.Yield)
+	}
+	if _, err := mc.ShiftedYield(pl, 1.5); err == nil {
+		t.Error("p=1.5 accepted")
+	}
+	if _, err := mc.ShiftedYield(pl, math.NaN()); err == nil {
+		t.Error("NaN accepted")
+	}
+	noSpares := pl
+	noSpares.SpareRows = 0
+	if _, err := mc.ShiftedYield(noSpares, 0.95); err == nil {
+		t.Error("placement without spare rows accepted")
+	}
+}
+
+func TestShiftedYieldDeterministicAcrossWorkerCounts(t *testing.T) {
+	pl, err := sqgrid.PlacementWithPrimaryTarget(36, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Result {
+		mc := NewMonteCarlo(77)
+		mc.Runs = 1000
+		mc.Workers = workers
+		res, err := mc.ShiftedYield(pl, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Errorf("shifted yield differs across worker counts: %+v vs %+v", a, b)
+	}
+}
+
+func TestShiftedYieldBelowInterstitialAtEqualN(t *testing.T) {
+	// The paper's argument: at equal primary-cell counts, interstitial
+	// redundancy with local reconfiguration beats boundary spare rows with
+	// shifted replacement (and both beat no redundancy at moderate q).
+	const n, p = 60, 0.95
+	pl, err := sqgrid.PlacementWithPrimaryTarget(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(5)
+	mc.Runs = 2000
+	shifted, err := mc.ShiftedYield(pl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := mc.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.Yield >= local.Yield {
+		t.Errorf("shifted %v should trail local reconfiguration %v", shifted.Yield, local.Yield)
+	}
+	if base := NoRedundancy(p, n); shifted.Yield <= base {
+		t.Errorf("shifted %v should beat no redundancy %v", shifted.Yield, base)
+	}
+}
+
+func TestShiftedYieldExtraSpareRowsAddAreaNotCapacity(t *testing.T) {
+	// Under strict adjacent shifting a column absorbs at most one repair, so
+	// survival depends only on the working rows plus the first spare row:
+	// extra spare rows leave yield statistically flat (the estimates differ
+	// only through the PRNG consuming more cells) while effective yield
+	// drops with the added area — the paper's scaling argument against
+	// boundary redundancy.
+	mc := NewMonteCarlo(11)
+	mc.Runs = 1500
+	pl1, err := sqgrid.PlacementWithPrimaryTarget(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl3, err := sqgrid.PlacementWithPrimaryTarget(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := mc.ShiftedYield(pl1, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := mc.ShiftedYield(pl3, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(r3.Yield - r1.Yield); diff > 0.06 {
+		t.Errorf("yield should be flat across spare rows: %v vs %v", r1.Yield, r3.Yield)
+	}
+	ey1 := EffectiveYieldCells(r1.Yield, 16, pl1.Grid.NumCells())
+	ey3 := EffectiveYieldCells(r3.Yield, 16, pl3.Grid.NumCells())
+	if ey3 >= ey1 {
+		t.Errorf("effective yield must fall with added spare area: %v (1 row) vs %v (3 rows)", ey1, ey3)
+	}
+}
+
+func TestShiftedYieldCancellation(t *testing.T) {
+	pl, err := sqgrid.PlacementWithPrimaryTarget(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(3)
+	mc.Runs = 5_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := mc.ShiftedYieldContext(ctx, pl, 0.95)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation not observed")
+	}
+}
+
+// TestShiftedYieldMatchesShiftSessionReference pins the allocation-free
+// column-scan trial inside ShiftedYieldContext to the authoritative
+// reconfig.ShiftSession semantics: estimating through mc.run with a
+// session-driven trial must give the identical Result for identical
+// (seed, runs, chunk size).
+func TestShiftedYieldMatchesShiftSessionReference(t *testing.T) {
+	for _, tc := range []struct{ n, rows int }{{10, 1}, {24, 1}, {24, 2}, {36, 3}} {
+		pl, err := sqgrid.PlacementWithPrimaryTarget(tc.n, tc.rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := NewMonteCarlo(123)
+		mc.Runs = 800
+		got, err := mc.ShiftedYield(pl, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference estimator: same kernel, trial driven by ShiftSession
+		// with deepest-first repairs.
+		order := pl.UsedCells()
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].Y != order[j].Y {
+				return order[i].Y > order[j].Y
+			}
+			return order[i].X < order[j].X
+		})
+		numCells := pl.Grid.NumCells()
+		ref := NewMonteCarlo(123)
+		ref.Runs = 800
+		want, err := ref.run(context.Background(), numCells, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+			fs = in.BernoulliN(numCells, 0.9, fs)
+			if fs.Count() == 0 {
+				return fs, true, nil
+			}
+			faults := make([]sqgrid.Coord, 0, fs.Count())
+			for i := 0; i < numCells; i++ {
+				if fs.IsFaulty(layout.CellID(i)) {
+					faults = append(faults, pl.Grid.CoordOf(i))
+				}
+			}
+			session, err := reconfig.NewShiftSession(pl, faults)
+			if err != nil {
+				return fs, false, err
+			}
+			for _, c := range order {
+				if !fs.IsFaulty(layout.CellID(pl.Grid.Index(c))) {
+					continue
+				}
+				if res := session.Repair(c, reconfig.ShiftOptions{}); !res.OK {
+					return fs, false, nil
+				}
+			}
+			return fs, true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("n=%d rows=%d: column-scan %+v != session reference %+v", tc.n, tc.rows, got, want)
 		}
 	}
 }
