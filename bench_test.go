@@ -8,6 +8,7 @@
 package dmfb_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -234,6 +235,77 @@ func BenchmarkMonteCarloKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mc.Yield(arr, 0.95); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFootprintComparison regenerates the square-vs-hexagonal footprint
+// figure (local and hex sweep strategies through the sweep engine).
+func BenchmarkFootprintComparison(b *testing.B) {
+	cfg := benchCfg()
+	var tb stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, tb, err = experiments.FootprintComparison(cfg, []string{"DTMB(2,6)"}, []int{100}, []float64{0.92, 0.96})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	printArtifact("Footprint comparison (reduced runs)", tb.String())
+}
+
+// BenchmarkHexYieldKernel measures the Monte-Carlo yield kernel on a
+// hexagonal-footprint DTMB array (build cost excluded; the kernel and the
+// six-neighbor reconfiguration matcher dominate).
+func BenchmarkHexYieldKernel(b *testing.B) {
+	arr, err := layout.BuildHexagonWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := yieldsim.NewMonteCarlo(1)
+	mc.Runs = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.YieldModelContext(context.Background(), arr, 0.95, defects.Model{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusteredDefectKernel measures the clustered-defect yield kernel
+// (clustered injection + local reconfiguration) at the same workload as
+// BenchmarkHexYieldKernel's independent model.
+func BenchmarkClusteredDefectKernel(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := yieldsim.NewMonteCarlo(1)
+	mc.Runs = 1000
+	model := defects.Model{Clustered: true, ClusterSize: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.YieldModelContext(context.Background(), arr, 0.95, model); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusteredInjector isolates the raw clustered-injection draw from
+// the reconfiguration matcher.
+func BenchmarkClusteredInjector(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := defects.NewInjector(1)
+	cp := defects.ClusterParams{MeanDefects: 7, ClusterSize: 4}
+	var fs *defects.FaultSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, _, err = in.Clustered(arr, cp, fs)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

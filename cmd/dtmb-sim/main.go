@@ -1,13 +1,20 @@
 // Command dtmb-sim runs the full defect-tolerance lifecycle end to end on
-// the case-study chip: inject manufacturing faults, reconfigure locally,
-// schedule the multiplexed in-vitro diagnostics workload, and execute a
-// complete glucose assay — dispense, transport, droplet merge, mixing by
-// shuttling, optical detection — on the cycle-accurate fluidics simulator,
-// routing around the faulty cells.
+// the case-study chip: inject manufacturing faults (a fixed count of
+// independent spot defects, or spatially correlated clusters via
+// -defect-model clustered), reconfigure locally, schedule the multiplexed
+// in-vitro diagnostics workload, and execute a complete glucose assay —
+// dispense, transport, droplet merge, mixing by shuttling, optical
+// detection — on the cycle-accurate fluidics simulator, routing around the
+// faulty cells.
 //
-// Example:
+// dtmb-sim exercises one chip under one fault pattern; for yield statistics
+// across the four redundancy strategies (none, local, shifted, hex) and
+// both defect models, see dtmb-sweep and dtmb-serve.
+//
+// Examples:
 //
 //	dtmb-sim -faults 10 -glucose 0.004 -seed 7
+//	dtmb-sim -defect-model clustered -faults 8 -cluster-size 3
 package main
 
 import (
@@ -25,21 +32,49 @@ import (
 	"dmfb/internal/scheduler"
 )
 
+// options holds the parsed command-line flags.
+type options struct {
+	faults      int
+	seed        int64
+	glucose     float64
+	voltage     float64
+	defectModel string
+	clusterSize float64
+}
+
+// registerFlags declares every dtmb-sim flag on fs; split from main so the
+// smoke test can assert the help text documents the defect models and points
+// at the sweep strategies.
+func registerFlags(fs *flag.FlagSet) *options {
+	var o options
+	fs.IntVar(&o.faults, "faults", 10, "cell faults to inject: the exact count (fixed model) or the expected count (clustered model)")
+	fs.Int64Var(&o.seed, "seed", 2005, "fault-injection seed")
+	fs.Float64Var(&o.glucose, "glucose", 0.004, "sample glucose concentration (mol/L)")
+	fs.Float64Var(&o.voltage, "voltage", 60, "electrode control voltage (V)")
+	fs.StringVar(&o.defectModel, "defect-model", "fixed", "spatial defect model: fixed (exactly -faults independent cell faults) or clustered (center-seeded clusters with geometric radius decay)")
+	fs.Float64Var(&o.clusterSize, "cluster-size", 4, "expected faulty cells per cluster for -defect-model clustered")
+	fs.Usage = func() {
+		out := fs.Output()
+		fmt.Fprintf(out, "Usage: dtmb-sim [flags]\n\n")
+		fmt.Fprintf(out, "Runs the full defect-tolerance lifecycle on the case-study chip.\n")
+		fmt.Fprintf(out, "For yield sweeps across the redundancy strategies none, local, shifted\n")
+		fmt.Fprintf(out, "and hex, see dtmb-sweep.\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	return &o
+}
+
 func main() {
-	var (
-		faults  = flag.Int("faults", 10, "random cell faults to inject")
-		seed    = flag.Int64("seed", 2005, "fault-injection seed")
-		glucose = flag.Float64("glucose", 0.004, "sample glucose concentration (mol/L)")
-		voltage = flag.Float64("voltage", 60, "electrode control voltage (V)")
-	)
-	flag.Parse()
-	if err := run(*faults, *seed, *glucose, *voltage); err != nil {
+	fs := flag.NewFlagSet("dtmb-sim", flag.ExitOnError)
+	o := registerFlags(fs)
+	_ = fs.Parse(os.Args[1:])
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dtmb-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(faults int, seed int64, glucoseConc, voltage float64) error {
+func run(o *options) error {
 	// 1. Build the defect-tolerant chip and break it.
 	c, err := chip.NewRedesignedChip()
 	if err != nil {
@@ -47,8 +82,23 @@ func run(faults int, seed int64, glucoseConc, voltage float64) error {
 	}
 	arr := c.Array()
 	fmt.Printf("chip: %s\n", arr)
-	if err := c.InjectFixed(seed, faults, defects.AllCells); err != nil {
-		return err
+	switch o.defectModel {
+	case "fixed":
+		if err := c.InjectFixed(o.seed, o.faults, defects.AllCells); err != nil {
+			return err
+		}
+	case "clustered":
+		clusters, err := c.InjectClustered(o.seed, defects.ClusterParams{
+			MeanDefects: float64(o.faults),
+			ClusterSize: o.clusterSize,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("clustered injection: %d clusters (mean %d defects, cluster size %g)\n",
+			clusters, o.faults, o.clusterSize)
+	default:
+		return fmt.Errorf("unknown defect model %q (want fixed or clustered)", o.defectModel)
 	}
 	plan, err := c.Reconfigure()
 	if err != nil {
@@ -64,12 +114,12 @@ func run(faults int, seed int64, glucoseConc, voltage float64) error {
 
 	// 2. Timing from the electrowetting model.
 	ew := electrowetting.Default()
-	stepTime, err := ew.TransportTime(voltage)
+	stepTime, err := ew.TransportTime(o.voltage)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("actuation: %.0f V -> droplet velocity %.1f cm/s, %.1f ms per cell\n",
-		voltage, ew.Velocity(voltage)*100, stepTime*1000)
+		o.voltage, ew.Velocity(o.voltage)*100, stepTime*1000)
 
 	// 3. Schedule the multiplexed workload (8 assays on shared modules).
 	ops := bioassay.MultiplexedWorkload()
@@ -78,11 +128,11 @@ func run(faults int, seed int64, glucoseConc, voltage float64) error {
 		return err
 	}
 	fmt.Printf("multiplexed workload: %d operations, makespan %d cycles (%.2f s at %.0f V)\n",
-		len(ops), sched.Makespan, float64(sched.Makespan)*stepTime, voltage)
+		len(ops), sched.Makespan, float64(sched.Makespan)*stepTime, o.voltage)
 
 	// 4. Execute one glucose assay on the fluidics simulator.
 	protocol := bioassay.ProtocolFor(bioassay.Glucose)
-	absorbance, cycles, err := executeGlucoseAssay(c, protocol, glucoseConc)
+	absorbance, cycles, err := executeGlucoseAssay(c, protocol, o.glucose)
 	if err != nil {
 		return err
 	}
@@ -90,7 +140,7 @@ func run(faults int, seed int64, glucoseConc, voltage float64) error {
 	if err != nil {
 		return err
 	}
-	truth := glucoseConc / 2 // 1:1 merge dilutes the sample
+	truth := o.glucose / 2 // 1:1 merge dilutes the sample
 	fmt.Printf("glucose assay executed in %d droplet cycles (%.2f s)\n", cycles, float64(cycles)*stepTime)
 	fmt.Printf("detector absorbance: %.4f AU at 545 nm\n", absorbance)
 	fmt.Printf("estimated glucose in mixed droplet: %.4f mol/L (truth %.4f, error %+.2f%%)\n",

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpNamesStrategiesAndDefectModel smoke-tests the -h output: it must
+// name every redundancy strategy of the sweep stack (so a reader of the
+// lifecycle tool finds the yield tools) and document the defect-model flag
+// with both of its values.
+func TestHelpNamesStrategiesAndDefectModel(t *testing.T) {
+	fs := flag.NewFlagSet("dtmb-sim", flag.ContinueOnError)
+	registerFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	usage := buf.String()
+	for _, want := range []string{
+		"none", "local", "shifted", "hex", // the four strategies
+		"defect-model", "fixed", "clustered", // the defect-model flag and its values
+		"cluster-size",
+	} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("-h output does not mention %q:\n%s", want, usage)
+		}
+	}
+}
+
+func TestRunRejectsUnknownDefectModel(t *testing.T) {
+	o := &options{faults: 1, seed: 1, glucose: 0.004, voltage: 60, defectModel: "quantum", clusterSize: 4}
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "defect model") {
+		t.Errorf("unknown defect model not rejected: %v", err)
+	}
+}

@@ -13,8 +13,9 @@
 // Examples:
 //
 //	dtmb-sweep -designs 'DTMB(2,6)' -n 60,120,240 -pmin 0.90 -pmax 1.0 -points 11
-//	dtmb-sweep -strategies local,none,shifted -n 100 -spare-rows 1,2 -runs 2000 -o grid.csv
-//	dtmb-sweep -format ndjson -ps 0.95,0.99
+//	dtmb-sweep -strategies local,none,shifted,hex -n 100 -spare-rows 1,2 -runs 2000 -o grid.csv
+//	dtmb-sweep -defect-models independent,clustered -cluster-size 4 -ps 0.95,0.99
+//	dtmb-sweep -format ndjson -strategies hex -designs 'DTMB(4,4)'
 package main
 
 import (
@@ -33,60 +34,84 @@ import (
 	"dmfb/internal/service"
 )
 
+// options holds the parsed command-line flags.
+type options struct {
+	strategies, designs, ns, psList string
+	pmin, pmax                      float64
+	points                          int
+	spareRows, defectModels         string
+	clusterSize                     float64
+	runs                            int
+	seed                            int64
+	workers, chunkSize              int
+	format, outPath                 string
+}
+
+// registerFlags declares every dtmb-sweep flag on fs; split from main so the
+// smoke test can assert the help text names every strategy and axis.
+func registerFlags(fs *flag.FlagSet) *options {
+	var o options
+	fs.StringVar(&o.strategies, "strategies", "local", "comma-separated redundancy strategies: none, local, shifted, hex")
+	fs.StringVar(&o.designs, "designs", "", "comma-separated DTMB designs for the local and hex strategies (default: all four canonical)")
+	fs.StringVar(&o.ns, "n", "100", "comma-separated primary-cell counts")
+	fs.StringVar(&o.psList, "ps", "", "comma-separated explicit survival probabilities (overrides -pmin/-pmax/-points)")
+	fs.Float64Var(&o.pmin, "pmin", 0.90, "lowest cell survival probability")
+	fs.Float64Var(&o.pmax, "pmax", 1.00, "highest cell survival probability")
+	fs.IntVar(&o.points, "points", 11, "number of evenly spaced probabilities in [pmin, pmax]")
+	fs.StringVar(&o.spareRows, "spare-rows", "1", "comma-separated boundary spare-row counts for the shifted strategy")
+	fs.StringVar(&o.defectModels, "defect-models", "independent", "comma-separated spatial defect models: independent, clustered")
+	fs.Float64Var(&o.clusterSize, "cluster-size", 0, "expected faulty cells per cluster for the clustered defect model (0 = default 4)")
+	fs.IntVar(&o.runs, "runs", 10000, "Monte-Carlo runs per grid point")
+	fs.Int64Var(&o.seed, "seed", 20050307, "PRNG seed (same seed, same grid: same output)")
+	fs.IntVar(&o.workers, "workers", 0, "goroutines per simulation (0 = GOMAXPROCS); never affects results")
+	fs.IntVar(&o.chunkSize, "chunk-size", 0, "trials per Monte-Carlo work unit (0 = default 256); part of the determinism contract")
+	fs.StringVar(&o.format, "format", "csv", "output format: csv or ndjson")
+	fs.StringVar(&o.outPath, "o", "", "output file (default stdout)")
+	return &o
+}
+
 func main() {
-	var (
-		strategies = flag.String("strategies", "local", "comma-separated redundancy strategies: none, local, shifted")
-		designs    = flag.String("designs", "", "comma-separated DTMB designs for the local strategy (default: all four canonical)")
-		ns         = flag.String("n", "100", "comma-separated primary-cell counts")
-		psList     = flag.String("ps", "", "comma-separated explicit survival probabilities (overrides -pmin/-pmax/-points)")
-		pmin       = flag.Float64("pmin", 0.90, "lowest cell survival probability")
-		pmax       = flag.Float64("pmax", 1.00, "highest cell survival probability")
-		points     = flag.Int("points", 11, "number of evenly spaced probabilities in [pmin, pmax]")
-		spareRows  = flag.String("spare-rows", "1", "comma-separated boundary spare-row counts for the shifted strategy")
-		runs       = flag.Int("runs", 10000, "Monte-Carlo runs per grid point")
-		seed       = flag.Int64("seed", 20050307, "PRNG seed (same seed, same grid: same output)")
-		workers    = flag.Int("workers", 0, "goroutines per simulation (0 = GOMAXPROCS); never affects results")
-		chunkSize  = flag.Int("chunk-size", 0, "trials per Monte-Carlo work unit (0 = default 256); part of the determinism contract")
-		format     = flag.String("format", "csv", "output format: csv or ndjson")
-		outPath    = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
+	fs := flag.NewFlagSet("dtmb-sweep", flag.ExitOnError)
+	o := registerFlags(fs)
+	_ = fs.Parse(os.Args[1:])
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dtmb-sweep:", err)
 		os.Exit(1)
 	}
 
-	nVals, err := parseInts(*ns)
+	nVals, err := parseInts(o.ns)
 	if err != nil {
 		fail(fmt.Errorf("-n: %w", err))
 	}
-	rowVals, err := parseInts(*spareRows)
+	rowVals, err := parseInts(o.spareRows)
 	if err != nil {
 		fail(fmt.Errorf("-spare-rows: %w", err))
 	}
-	pVals, err := parseFloats(*psList)
+	pVals, err := parseFloats(o.psList)
 	if err != nil {
 		fail(fmt.Errorf("-ps: %w", err))
 	}
 
 	req := service.SweepRequest{
-		Strategies: splitList(*strategies),
-		Designs:    splitDesigns(*designs),
-		NPrimaries: nVals,
-		Ps:         pVals,
-		PMin:       *pmin,
-		PMax:       *pmax,
-		PPoints:    *points,
-		SpareRows:  rowVals,
-		Runs:       *runs,
-		Seed:       *seed,
+		Strategies:   splitList(o.strategies),
+		Designs:      splitDesigns(o.designs),
+		NPrimaries:   nVals,
+		Ps:           pVals,
+		PMin:         o.pmin,
+		PMax:         o.pmax,
+		PPoints:      o.points,
+		SpareRows:    rowVals,
+		DefectModels: splitList(o.defectModels),
+		ClusterSize:  o.clusterSize,
+		Runs:         o.runs,
+		Seed:         o.seed,
 	}
 
 	engine := service.NewEngine(service.EngineConfig{
-		DefaultRuns: *runs,
-		Workers:     *workers,
-		ChunkSize:   *chunkSize,
+		DefaultRuns: o.runs,
+		Workers:     o.workers,
+		ChunkSize:   o.chunkSize,
 	})
 	// Validate the whole request before touching the output file, so a bad
 	// flag cannot truncate a previously generated results file.
@@ -94,13 +119,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *format != "csv" && *format != "ndjson" {
-		fail(fmt.Errorf("unknown format %q (want csv or ndjson)", *format))
+	if o.format != "csv" && o.format != "ndjson" {
+		fail(fmt.Errorf("unknown format %q (want csv or ndjson)", o.format))
 	}
 
 	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if o.outPath != "" {
+		f, err := os.Create(o.outPath)
 		if err != nil {
 			fail(err)
 		}
@@ -108,7 +133,7 @@ func main() {
 		out = f
 	}
 
-	emit, finish, err := newEmitter(*format, out)
+	emit, finish, err := newEmitter(o.format, out)
 	if err != nil {
 		fail(err)
 	}
@@ -128,7 +153,8 @@ func newEmitter(format string, out io.Writer) (func(service.SweepRecord) error, 
 	switch format {
 	case "csv":
 		w := csv.NewWriter(out)
-		header := []string{"strategy", "design", "n_primary", "spare_rows", "n_total",
+		header := []string{"strategy", "design", "n_primary", "spare_rows",
+			"defect_model", "cluster_size", "n_total",
 			"p", "runs", "seed", "yield", "ci_lo", "ci_hi", "effective_yield", "no_redundancy"}
 		if err := w.Write(header); err != nil {
 			return nil, nil, err
@@ -136,7 +162,8 @@ func newEmitter(format string, out io.Writer) (func(service.SweepRecord) error, 
 		emit := func(r service.SweepRecord) error {
 			return w.Write([]string{
 				r.Strategy, r.Design,
-				strconv.Itoa(r.NPrimary), strconv.Itoa(r.SpareRows), strconv.Itoa(r.NTotal),
+				strconv.Itoa(r.NPrimary), strconv.Itoa(r.SpareRows),
+				r.DefectModel, fmtFloat(r.ClusterSize), strconv.Itoa(r.NTotal),
 				fmtFloat(r.P), strconv.Itoa(r.Runs), strconv.FormatInt(r.Seed, 10),
 				fmtFloat(r.Yield), fmtFloat(r.CILo), fmtFloat(r.CIHi),
 				fmtFloat(r.EffectiveYield), fmtFloat(r.NoRedundancy),

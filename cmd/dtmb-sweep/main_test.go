@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestHelpNamesAllStrategiesAndAxes smoke-tests the -h output: every
+// redundancy strategy and both defect models must be named, so the flag
+// docs cannot silently go stale when an axis is added.
+func TestHelpNamesAllStrategiesAndAxes(t *testing.T) {
+	fs := flag.NewFlagSet("dtmb-sweep", flag.ContinueOnError)
+	registerFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	usage := buf.String()
+	for _, want := range []string{
+		"none, local, shifted, hex", // the four strategies, in the -strategies doc
+		"defect-models",
+		"independent, clustered", // both defect models, in the -defect-models doc
+		"cluster-size",
+		"spare-rows",
+	} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("-h output does not mention %q:\n%s", want, usage)
+		}
+	}
+}
+
+func TestSplitDesignsKeepsParenthesizedNames(t *testing.T) {
+	got := splitDesigns("DTMB(2,6), dtmb44 ,DTMB(3,6)")
+	want := []string{"DTMB(2,6)", "dtmb44", "DTMB(3,6)"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splitDesigns = %v, want %v", got, want)
+	}
+}
+
+func TestParseListsRejectGarbage(t *testing.T) {
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("parseInts accepted garbage")
+	}
+	if _, err := parseFloats("0.9,oops"); err == nil {
+		t.Error("parseFloats accepted garbage")
+	}
+	ints, err := parseInts(" 1, 2 ,3 ")
+	if err != nil || !reflect.DeepEqual(ints, []int{1, 2, 3}) {
+		t.Errorf("parseInts = %v, %v", ints, err)
+	}
+}

@@ -134,6 +134,20 @@ func (b *Biochip) InjectFixed(seed int64, m int, domain defects.Domain) error {
 	return nil
 }
 
+// InjectClustered seeds spatially correlated defect clusters (center-seeded,
+// geometric radius decay) with the given expected defect count and cluster
+// size, returning the number of clusters that struck the array.
+func (b *Biochip) InjectClustered(seed int64, params defects.ClusterParams) (int, error) {
+	in := defects.NewInjector(seed)
+	fs, clusters, err := in.Clustered(b.arr, params, b.faults)
+	if err != nil {
+		return 0, err
+	}
+	b.faults = fs
+	b.resetPlan()
+	return clusters, nil
+}
+
 // InjectCatalog draws a realistic mixed catastrophic/parametric defect
 // catalog with expected size lambda and returns the recorded defects plus the
 // sub-tolerance parametric deviations that did not disable their cell.

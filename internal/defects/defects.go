@@ -12,7 +12,11 @@
 // The yield analysis assumption of the paper is implemented directly: every
 // cell, primary or spare, fails independently with the same probability
 // q = 1 − p (Bernoulli mode), or exactly m distinct cells fail (fixed-count
-// mode, used by the case-study experiment of Fig. 13).
+// mode, used by the case-study experiment of Fig. 13). Beyond the paper's
+// independence assumption, clustered.go models spatially correlated
+// manufacturing defects: center-seeded clusters with geometric radius decay
+// (Clustered for hexagonal-lattice arrays, ClusteredGrid for the square
+// grids of the shifted-replacement baseline), selected via Model.
 package defects
 
 import (
@@ -233,17 +237,7 @@ func NewInjector(seed int64) *Injector {
 // probability q = 1−p, the paper's yield-analysis assumption. It reuses dst
 // when non-nil (clearing it first) to avoid allocation in Monte-Carlo loops.
 func (in *Injector) Bernoulli(arr *layout.Array, p float64, dst *FaultSet) *FaultSet {
-	dst = in.prepare(arr, dst)
-	q := 1 - p
-	if q <= 0 {
-		return dst
-	}
-	for i := 0; i < arr.NumCells(); i++ {
-		if in.rng.Float64() < q {
-			dst.MarkFaulty(layout.CellID(i))
-		}
-	}
-	return dst
+	return in.BernoulliN(arr.NumCells(), p, dst)
 }
 
 // BernoulliN marks each of numCells generically indexed cells faulty
@@ -384,9 +378,24 @@ func (in *Injector) Catalog(arr *layout.Array, params CatalogParams) (*FaultSet,
 	return fs, subTolerance
 }
 
-// poisson draws from Poisson(lambda) by Knuth's method (adequate for the
-// small λ used in defect catalogs).
+// poisson draws from Poisson(lambda). Knuth's product method underflows once
+// exp(−λ) leaves float64 range (λ ≳ 745), silently capping the draw near
+// 750, so large rates are split into independent chunks first —
+// Poisson(a+b) = Poisson(a) + Poisson(b) — keeping the sampler exact at the
+// array-scale rates the clustered-defect model produces.
 func (in *Injector) poisson(lambda float64) int {
+	const chunk = 256 // exp(-256) ≈ 1.5e-111, far from underflow
+	k := 0
+	for lambda > chunk {
+		k += in.poissonKnuth(chunk)
+		lambda -= chunk
+	}
+	return k + in.poissonKnuth(lambda)
+}
+
+// poissonKnuth draws from Poisson(lambda) by Knuth's product method; lambda
+// must be small enough that exp(−lambda) is comfortably representable.
+func (in *Injector) poissonKnuth(lambda float64) int {
 	if lambda <= 0 {
 		return 0
 	}

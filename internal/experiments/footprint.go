@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmfb/internal/layout"
+	"dmfb/internal/stats"
+	"dmfb/internal/sweep"
+)
+
+// FootprintPoint pairs the square (parallelogram) and hexagonal footprint
+// yield estimates of one DTMB design at one (n, p).
+type FootprintPoint struct {
+	Design string
+	N      int
+	P      float64
+	Square sweep.PointResult
+	Hex    sweep.PointResult
+}
+
+// FootprintComparison compares the paper's square-interstitial arrays
+// (parallelogram footprint, the "local" sweep strategy) against the
+// hexagonal-array DTMB geometry of the companion fault-tolerance work (the
+// "hex" strategy) at equal primary count. The hexagon has proportionally
+// fewer boundary cells, but the two footprints quantize the spare sublattice
+// differently — at a given n they generally realize different spare counts —
+// so raw yield can favor either shape while the hexagon tends to win on
+// effective yield (yield per cell of area). The figure reports both, with
+// the realized total cell counts, so the tradeoff is visible. The grid is
+// evaluated by the sweep engine, so the driver and the /v1/sweep endpoint
+// produce identical numbers for identical parameters.
+func FootprintComparison(cfg Config, designs []string, ns []int, ps []float64) ([]FootprintPoint, stats.Table, error) {
+	if len(designs) == 0 {
+		for _, d := range layout.AllDesigns() {
+			designs = append(designs, d.Name)
+		}
+	}
+	if len(ns) == 0 {
+		ns = []int{100}
+	}
+	if len(ps) == 0 {
+		ps = stats.Linspace(0.90, 1.00, 11)
+	}
+	tb := stats.Table{
+		Title: fmt.Sprintf("Footprint comparison: square vs hexagonal interstitial arrays (%d runs per point)", cfg.Runs),
+		Columns: []string{"Design", "n", "p", "square yield", "hex yield",
+			"square EY", "hex EY", "square N", "hex N"},
+	}
+	spec := sweep.Spec{
+		Strategies: []sweep.Strategy{sweep.Local, sweep.Hex},
+		Designs:    designs,
+		NPrimaries: ns,
+		Ps:         ps,
+	}
+	results, err := runSweep(spec, cfg.simParams())
+	if err != nil {
+		return nil, tb, err
+	}
+	// Expansion order is strategy-major: the local block precedes the hex
+	// block, and within each block design varies slowest, then n, then p.
+	half := len(results) / 2
+	points := make([]FootprintPoint, 0, half)
+	for i := 0; i < half; i++ {
+		sq, hx := results[i], results[half+i]
+		if sq.Strategy != sweep.Local || hx.Strategy != sweep.Hex ||
+			sq.Design != hx.Design || sq.NPrimary != hx.NPrimary || sq.P != hx.P {
+			return nil, tb, fmt.Errorf("experiments: sweep blocks misaligned at index %d", i)
+		}
+		points = append(points, FootprintPoint{
+			Design: sq.Design, N: sq.NPrimary, P: sq.P, Square: sq, Hex: hx,
+		})
+		tb.AddRow(sq.Design, fmt.Sprint(sq.NPrimary), fmtF(sq.P),
+			fmtF(sq.Yield), fmtF(hx.Yield),
+			fmtF(sq.EffectiveYield), fmtF(hx.EffectiveYield),
+			fmt.Sprint(sq.NTotal), fmt.Sprint(hx.NTotal))
+	}
+	return points, tb, nil
+}
+
+// ClusteredDefectAblation contrasts the independent and clustered defect
+// models on one design across p at equal expected defect density: local
+// reconfiguration repairs scattered single-cell faults almost surely but a
+// cluster can exhaust every spare in a neighborhood, so the clustered column
+// reads uniformly lower — the yield penalty of spatially correlated
+// manufacturing defects that boundary-redundancy comparisons usually hide.
+func ClusteredDefectAblation(cfg Config, design string, clusterSizes []float64, ps []float64) (stats.Table, error) {
+	if design == "" {
+		design = layout.DTMB26().Name
+	}
+	if len(clusterSizes) == 0 {
+		clusterSizes = []float64{2, 4, 8}
+	}
+	if len(ps) == 0 {
+		ps = []float64{0.90, 0.95, 0.99}
+	}
+	const n = 100
+	tb := stats.Table{
+		Title:   fmt.Sprintf("Ablation: %s under clustered defects, n=%d (%d runs)", design, n, cfg.Runs),
+		Columns: []string{"p", "independent"},
+	}
+	for _, s := range clusterSizes {
+		tb.Columns = append(tb.Columns, fmt.Sprintf("clustered size=%g", s))
+	}
+	for _, p := range ps {
+		row := []string{fmtF(p)}
+		base, err := runSweep(sweep.Spec{
+			Strategies: []sweep.Strategy{sweep.Local},
+			Designs:    []string{design},
+			NPrimaries: []int{n},
+			Ps:         []float64{p},
+		}, cfg.simParams())
+		if err != nil {
+			return tb, err
+		}
+		row = append(row, fmtF(base[0].Yield))
+		for _, s := range clusterSizes {
+			res, err := runSweep(sweep.Spec{
+				Strategies:   []sweep.Strategy{sweep.Local},
+				Designs:      []string{design},
+				NPrimaries:   []int{n},
+				Ps:           []float64{p},
+				DefectModels: []sweep.DefectModel{sweep.Clustered},
+				ClusterSize:  s,
+			}, cfg.simParams())
+			if err != nil {
+				return tb, err
+			}
+			row = append(row, fmtF(res[0].Yield))
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFootprintComparisonPairsPoints(t *testing.T) {
+	cfg := Quick()
+	cfg.Runs = 300
+	points, tb, err := FootprintComparison(cfg, []string{"DTMB(2,6)"}, []int{40}, []float64{0.93, 0.97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("%d table rows, want 2", len(tb.Rows))
+	}
+	for _, pt := range points {
+		if pt.Square.NPrimary != pt.N || pt.Hex.NPrimary != pt.N {
+			t.Errorf("pair at p=%v mismatched n: %+v", pt.P, pt)
+		}
+		if pt.Square.Design != pt.Design || pt.Hex.Design != pt.Design {
+			t.Errorf("pair at p=%v mismatched design", pt.P)
+		}
+		if pt.Hex.NTotal <= pt.N || pt.Square.NTotal <= pt.N {
+			t.Errorf("pair at p=%v missing spares: square N=%d hex N=%d",
+				pt.P, pt.Square.NTotal, pt.Hex.NTotal)
+		}
+	}
+	// Yield is non-decreasing in p for both footprints.
+	if points[0].Square.Yield > points[1].Square.Yield+0.05 {
+		t.Errorf("square yield fell with rising p: %v -> %v", points[0].Square.Yield, points[1].Square.Yield)
+	}
+	if points[0].Hex.Yield > points[1].Hex.Yield+0.05 {
+		t.Errorf("hex yield fell with rising p: %v -> %v", points[0].Hex.Yield, points[1].Hex.Yield)
+	}
+}
+
+func TestClusteredDefectAblationShape(t *testing.T) {
+	cfg := Quick()
+	cfg.Runs = 200
+	tb, err := ClusteredDefectAblation(cfg, "DTMB(2,6)", []float64{4}, []float64{0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Columns) != 3 {
+		t.Fatalf("columns %v, want p + independent + one clustered", tb.Columns)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(tb.Rows))
+	}
+}

@@ -259,6 +259,36 @@ func BuildWithPrimaryTarget(d Design, nPrimary int) (*Array, error) {
 	}
 }
 
+// BuildHexagonWithPrimaryTarget builds an array over a regular hexagonal
+// chip footprint with exactly nPrimary primary cells — the hexagonal-array
+// DTMB geometry of the companion fault-tolerance work, where the chip
+// outline follows the lattice instead of a rectangle. It grows the hexagon
+// radius until at least nPrimary primaries exist, then trims surplus
+// primaries from the region boundary (never spares), exactly like
+// BuildWithPrimaryTarget does for parallelogram footprints. Relative to a
+// parallelogram of equal primary count the hexagon has proportionally fewer
+// boundary cells, so more of its primaries enjoy the full (s, p)
+// interstitial signature.
+func BuildHexagonWithPrimaryTarget(d Design, nPrimary int) (*Array, error) {
+	if nPrimary <= 0 {
+		return nil, fmt.Errorf("layout: primary target %d must be positive", nPrimary)
+	}
+	for radius := 0; ; radius++ {
+		region := hexgrid.Hexagon(radius)
+		arr, err := Build(d, region)
+		if err != nil {
+			return nil, err
+		}
+		if len(arr.primaries) < nPrimary {
+			continue
+		}
+		if len(arr.primaries) == nPrimary {
+			return arr, nil
+		}
+		return trimPrimaries(d, region, len(arr.primaries)-nPrimary)
+	}
+}
+
 // BuildClusterCompleteDTMB16 builds a DTMB(1,6) array as a union of
 // nClusters complete clusters — one spare plus its six surrounding primaries
 // — chosen spiral-outward from the origin. Because the spare sites form a

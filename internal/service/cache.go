@@ -19,6 +19,11 @@ type cacheKey struct {
 	// spare is the boundary spare-row count of shifted-replacement
 	// simulations ("shifted" kind); 0 for the interstitial kinds.
 	spare int
+	// model and clusterSize identify the spatial defect model of sweep
+	// points; both zero for the independent-model kinds that predate the
+	// defect-model axis ("yield", "recommend").
+	model       string
+	clusterSize float64
 }
 
 // resultCache is a mutex-guarded LRU of finished responses.

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// modelSweepBody exercises all four strategies under both defect models.
+const modelSweepBody = `{"strategies":["none","local","shifted","hex"],` +
+	`"designs":["DTMB(2,6)"],"n_primaries":[24],` +
+	`"ps":[0.92,0.97],"spare_rows":[1],` +
+	`"defect_models":["independent","clustered"],"cluster_size":3,` +
+	`"runs":200,"seed":11}`
+
+func decodeSweepNDJSON(t *testing.T, body string) []SweepRecord {
+	t.Helper()
+	var recs []SweepRecord
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		var rec SweepRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func TestSweepHexAndClusteredStream(t *testing.T) {
+	mux, _ := testMux()
+	w := doJSON(t, mux, http.MethodPost, "/v1/sweep", modelSweepBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	recs := decodeSweepNDJSON(t, w.Body.String())
+	// 4 strategies × 2 models × 2 ps (one design, one n, one spare-row count).
+	if want := 4 * 2 * 2; len(recs) != want {
+		t.Fatalf("%d records, want %d", len(recs), want)
+	}
+	seen := map[[2]string]int{}
+	for i, rec := range recs {
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d", i, rec.Index)
+		}
+		seen[[2]string{rec.Strategy, rec.DefectModel}]++
+		switch rec.DefectModel {
+		case "independent":
+			if rec.ClusterSize != 0 {
+				t.Errorf("independent record carries cluster_size: %+v", rec)
+			}
+		case "clustered":
+			if rec.ClusterSize != 3 {
+				t.Errorf("clustered record cluster_size %v, want 3", rec.ClusterSize)
+			}
+		default:
+			t.Errorf("record %d has model %q", i, rec.DefectModel)
+		}
+		if rec.Strategy == "hex" {
+			if rec.Design != "DTMB(2,6)" {
+				t.Errorf("hex record design %q", rec.Design)
+			}
+			if rec.NTotal <= rec.NPrimary {
+				t.Errorf("hex record NTotal %d <= n %d", rec.NTotal, rec.NPrimary)
+			}
+		}
+	}
+	for _, strat := range []string{"none", "local", "shifted", "hex"} {
+		for _, model := range []string{"independent", "clustered"} {
+			if seen[[2]string{strat, model}] != 2 {
+				t.Errorf("(%s, %s): %d records, want 2", strat, model, seen[[2]string{strat, model}])
+			}
+		}
+	}
+}
+
+// TestSweepByteIdenticalAcrossWorkersAndGOMAXPROCS asserts the PR 2
+// invariant extended to the hex strategy and the clustered defect model:
+// the NDJSON stream is a pure function of the request, independent of both
+// the per-simulation worker count and the scheduler's parallelism.
+func TestSweepByteIdenticalAcrossWorkersAndGOMAXPROCS(t *testing.T) {
+	run := func(workers, maxConcurrent, gomaxprocs int) string {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		e := NewEngine(EngineConfig{Workers: workers, MaxConcurrent: maxConcurrent})
+		mux := NewMux(e)
+		w := doJSON(t, mux, http.MethodPost, "/v1/sweep", modelSweepBody)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		return w.Body.String()
+	}
+	base := run(1, 1, 1)
+	for _, cfg := range []struct{ workers, maxConcurrent, gomaxprocs int }{
+		{4, 4, 1},
+		{1, 1, 8},
+		{4, 4, 8},
+	} {
+		got := run(cfg.workers, cfg.maxConcurrent, cfg.gomaxprocs)
+		if got != base {
+			t.Fatalf("sweep bytes differ at workers=%d gomaxprocs=%d:\n--- base:\n%s\n--- got:\n%s",
+				cfg.workers, cfg.gomaxprocs, base, got)
+		}
+	}
+}
+
+func TestSweepHexAndClusteredPointsAreCached(t *testing.T) {
+	mux, _ := testMux()
+	first := doJSON(t, mux, http.MethodPost, "/v1/sweep", modelSweepBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	second := doJSON(t, mux, http.MethodPost, "/v1/sweep", modelSweepBody)
+	recs := decodeSweepNDJSON(t, second.Body.String())
+	for _, rec := range recs {
+		if rec.Strategy == "none" {
+			continue // closed form, never cached
+		}
+		if !rec.Cached {
+			t.Errorf("(%s, %s, p=%v) not served from cache on repeat", rec.Strategy, rec.DefectModel, rec.P)
+		}
+	}
+}
+
+func TestSweepModelAxisValidation(t *testing.T) {
+	mux, _ := testMux()
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown model", `{"defect_models":["quantum"]}`, "defect model"},
+		{"duplicate model", `{"defect_models":["clustered","clustered"]}`, "twice"},
+		{"bad cluster size", `{"cluster_size":0.25}`, "cluster_size"},
+		{"huge cluster size", `{"cluster_size":1e9}`, "cluster_size"},
+	}
+	for _, tc := range cases {
+		w := doJSON(t, mux, http.MethodPost, "/v1/sweep", tc.body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, w.Code, w.Body.String())
+			continue
+		}
+		if !strings.Contains(w.Body.String(), tc.want) {
+			t.Errorf("%s: body %q missing %q", tc.name, w.Body.String(), tc.want)
+		}
+	}
+}
+
+// TestSweepLocalClusteredDoesNotPolluteYieldCache guards the cache
+// namespaces: a clustered local point must not be served for a /v1/yield
+// request with the same (design, n, p, runs, seed).
+func TestSweepLocalClusteredDoesNotPolluteYieldCache(t *testing.T) {
+	mux, _ := testMux()
+	body := `{"strategies":["local"],"designs":["DTMB(2,6)"],"n_primaries":[24],` +
+		`"ps":[0.95],"defect_models":["clustered"],"runs":200,"seed":11}`
+	if w := doJSON(t, mux, http.MethodPost, "/v1/sweep", body); w.Code != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", w.Code, w.Body.String())
+	}
+	w := doJSON(t, mux, http.MethodPost, "/v1/yield",
+		`{"design":"DTMB(2,6)","n_primary":24,"p":0.95,"runs":200,"seed":11}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("yield status %d: %s", w.Code, w.Body.String())
+	}
+	var resp YieldResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("independent /v1/yield request was served from the clustered sweep's cache entry")
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"math"
 
 	"dmfb/internal/core"
 	"dmfb/internal/sqgrid"
@@ -45,6 +46,7 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 		{"designs", len(req.Designs)},
 		{"n_primaries", len(req.NPrimaries)},
 		{"spare_rows", len(req.SpareRows)},
+		{"defect_models", len(req.DefectModels)},
 	} {
 		if axis.n > MaxSweepPoints {
 			return nil, invalidf("%s has %d entries, cap is %d", axis.name, axis.n, MaxSweepPoints)
@@ -101,17 +103,33 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 		}
 		seenP[p] = true
 	}
+	seenModel := make(map[string]bool, len(req.DefectModels))
+	for _, m := range req.DefectModels {
+		if seenModel[m] {
+			return nil, invalidf("defect_models lists %q twice", m)
+		}
+		seenModel[m] = true
+	}
+	if req.ClusterSize != 0 {
+		if math.IsNaN(req.ClusterSize) || req.ClusterSize < 1 || req.ClusterSize > MaxClusterSize {
+			return nil, invalidf("cluster_size must be in [1,%v], got %v", float64(MaxClusterSize), req.ClusterSize)
+		}
+	}
 	spec := sweep.Spec{
-		Designs:    designs,
-		NPrimaries: req.NPrimaries,
-		Ps:         req.Ps,
-		PMin:       req.PMin,
-		PMax:       req.PMax,
-		PPoints:    req.PPoints,
-		SpareRows:  req.SpareRows,
+		Designs:     designs,
+		NPrimaries:  req.NPrimaries,
+		Ps:          req.Ps,
+		PMin:        req.PMin,
+		PMax:        req.PMax,
+		PPoints:     req.PPoints,
+		SpareRows:   req.SpareRows,
+		ClusterSize: req.ClusterSize,
 	}
 	for _, s := range req.Strategies {
 		spec.Strategies = append(spec.Strategies, sweep.Strategy(s))
+	}
+	for _, m := range req.DefectModels {
+		spec.DefectModels = append(spec.DefectModels, sweep.DefectModel(m))
 	}
 	if n := spec.NumPoints(); n > MaxSweepPoints {
 		return nil, invalidf("sweep has %d grid points, cap is %d", n, MaxSweepPoints)
@@ -125,7 +143,7 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 	for _, pt := range pts {
 		cells := 0
 		switch pt.Strategy {
-		case sweep.Local:
+		case sweep.Local, sweep.Hex:
 			cells = pt.NPrimary
 		case sweep.Shifted:
 			pl, err := sqgrid.PlacementWithPrimaryTarget(pt.NPrimary, pt.SpareRows)
@@ -172,8 +190,8 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest, emit func(SweepRec
 // sweepEval routes a grid point to its cached evaluation path.
 func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
 	return func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
-		switch pt.Strategy {
-		case sweep.Local:
+		switch {
+		case pt.Strategy == sweep.Local && pt.DefectModel != sweep.Clustered:
 			// Share the /v1/yield cache namespace: identical (design, n, p,
 			// runs, seed) means an identical result either way.
 			resp, err := e.Yield(ctx, YieldRequest{
@@ -198,8 +216,12 @@ func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
 				NoRedundancy:   resp.NoRedundancy,
 				Cached:         resp.Cached,
 			}, nil
-		case sweep.Shifted:
-			return e.shiftedPoint(ctx, pt, sp)
+		case pt.Strategy == sweep.Local: // clustered model, own cache kind
+			return e.cachedPoint(ctx, "local-clustered", pt, sp)
+		case pt.Strategy == sweep.Hex:
+			return e.cachedPoint(ctx, "hex", pt, sp)
+		case pt.Strategy == sweep.Shifted:
+			return e.cachedPoint(ctx, "shifted", pt, sp)
 		default:
 			// Closed form: too cheap to cache or bound.
 			return sweep.Evaluate(ctx, pt, sp)
@@ -207,10 +229,22 @@ func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
 	}
 }
 
-// shiftedPoint evaluates a shifted-replacement grid point through the result
-// cache and admission semaphore, keyed by (n, spare rows, p, runs, seed).
-func (e *Engine) shiftedPoint(ctx context.Context, pt sweep.Point, sp core.SimParams) (sweep.PointResult, error) {
-	key := cacheKey{kind: "shifted", nPrimary: pt.NPrimary, p: pt.P, runs: sp.Runs, seed: sp.Seed, spare: pt.SpareRows}
+// cachedPoint evaluates a Monte-Carlo grid point through the result cache,
+// single-flight layer, and admission semaphore, keyed by the point's full
+// coordinates (strategy kind, design, n, spare rows, p, defect model,
+// cluster size) plus the simulation parameters.
+func (e *Engine) cachedPoint(ctx context.Context, kind string, pt sweep.Point, sp core.SimParams) (sweep.PointResult, error) {
+	key := cacheKey{
+		kind:        kind,
+		design:      pt.Design,
+		nPrimary:    pt.NPrimary,
+		p:           pt.P,
+		runs:        sp.Runs,
+		seed:        sp.Seed,
+		spare:       pt.SpareRows,
+		model:       string(pt.DefectModel),
+		clusterSize: pt.ClusterSize,
+	}
 	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
 		res, err := sweep.Evaluate(ctx, pt, sp)
 		if err != nil {
@@ -238,6 +272,8 @@ func sweepRecord(r sweep.PointResult) SweepRecord {
 		Design:         r.Design,
 		NPrimary:       r.NPrimary,
 		SpareRows:      r.SpareRows,
+		DefectModel:    string(r.DefectModel),
+		ClusterSize:    r.ClusterSize,
 		NTotal:         r.NTotal,
 		P:              r.P,
 		Runs:           r.Runs,

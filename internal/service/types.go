@@ -53,6 +53,9 @@ const (
 	// sweep is one request, so its total cost is bounded like (a few of)
 	// the single-point requests it replaces.
 	MaxSweepWork = 10 * int64(MaxWork)
+	// MaxClusterSize caps the clustered-defect cluster size of one request;
+	// clusters larger than any admissible array are noise.
+	MaxClusterSize = 1024
 )
 
 // validateWork bounds the total simulated trial-cells of one request; the
@@ -214,11 +217,14 @@ type ReconfigureResponse struct {
 // n = 100, p from 0.90 to 1.00 in 11 steps, local reconfiguration).
 type SweepRequest struct {
 	// Strategies lists redundancy schemes: "none" (p^n baseline), "local"
-	// (DTMB interstitial redundancy, the paper's proposal) and/or "shifted"
-	// (boundary spare rows, the Fig. 2 baseline). Empty means ["local"].
+	// (DTMB interstitial redundancy on a parallelogram footprint, the
+	// paper's proposal), "shifted" (boundary spare rows, the Fig. 2
+	// baseline) and/or "hex" (the same interstitial designs on a regular
+	// hexagonal chip footprint). Empty means ["local"].
 	Strategies []string `json:"strategies,omitempty"`
-	// Designs lists DTMB designs for the local strategy; names and compact
-	// aliases are accepted as in /v1/yield. Empty means the canonical four.
+	// Designs lists DTMB designs for the local and hex strategies; names and
+	// compact aliases are accepted as in /v1/yield. Empty means the
+	// canonical four.
 	Designs []string `json:"designs,omitempty"`
 	// NPrimaries lists primary-cell counts; empty means [100].
 	NPrimaries []int `json:"n_primaries,omitempty"`
@@ -232,6 +238,14 @@ type SweepRequest struct {
 	// SpareRows lists boundary spare-row counts for the shifted strategy;
 	// empty means [1].
 	SpareRows []int `json:"spare_rows,omitempty"`
+	// DefectModels lists spatial defect models: "independent" (every cell
+	// fails i.i.d. with probability 1−p, the paper's assumption) and/or
+	// "clustered" (center-seeded defect clusters with geometric radius decay
+	// at the same expected density). Empty means ["independent"].
+	DefectModels []string `json:"defect_models,omitempty"`
+	// ClusterSize is the expected faulty cells per cluster for the clustered
+	// model; 0 means the default (4).
+	ClusterSize float64 `json:"cluster_size,omitempty"`
 	// Runs is the Monte-Carlo run count per grid point; 0 means the engine
 	// default. Closed-form (none-strategy) points ignore it.
 	Runs int `json:"runs,omitempty"`
@@ -246,13 +260,18 @@ type SweepRequest struct {
 type SweepRecord struct {
 	Index    int    `json:"index"`
 	Strategy string `json:"strategy"`
-	// Design is set for local-strategy points, e.g. "DTMB(2,6)".
+	// Design is set for local- and hex-strategy points, e.g. "DTMB(2,6)".
 	Design   string `json:"design,omitempty"`
 	NPrimary int    `json:"n_primary"`
 	// SpareRows is set for shifted-strategy points.
-	SpareRows int     `json:"spare_rows,omitempty"`
-	NTotal    int     `json:"n_total"`
-	P         float64 `json:"p"`
+	SpareRows int `json:"spare_rows,omitempty"`
+	// DefectModel is the point's spatial defect model ("independent" or
+	// "clustered").
+	DefectModel string `json:"defect_model"`
+	// ClusterSize is set for clustered-model points.
+	ClusterSize float64 `json:"cluster_size,omitempty"`
+	NTotal      int     `json:"n_total"`
+	P           float64 `json:"p"`
 	// Runs is 0 for closed-form (none-strategy) points.
 	Runs           int     `json:"runs"`
 	Seed           int64   `json:"seed"`

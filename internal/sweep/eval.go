@@ -52,6 +52,12 @@ func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, er
 	switch pt.Strategy {
 	case None:
 		y := yieldsim.NoRedundancy(pt.P, pt.NPrimary)
+		if pt.DefectModel == Clustered {
+			// Every cluster marks at least its center faulty, so a chip with
+			// no spares survives iff zero clusters strike: the Poisson zero
+			// class exp(−λ) at cluster rate λ = (1−p)·n / cluster size.
+			y = math.Exp(-(1 - pt.P) * float64(pt.NPrimary) / pt.ClusterSize)
+		}
 		return PointResult{
 			Point:          pt,
 			NTotal:         pt.NPrimary,
@@ -66,6 +72,18 @@ func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, er
 		design, err := layout.DesignByName(pt.Design)
 		if err != nil {
 			return PointResult{}, fmt.Errorf("sweep: %w", err)
+		}
+		if pt.DefectModel == Clustered {
+			arr, err := layout.BuildWithPrimaryTarget(design, pt.NPrimary)
+			if err != nil {
+				return PointResult{}, err
+			}
+			mc := sp.MonteCarlo()
+			res, err := mc.YieldModelContext(ctx, arr, pt.P, pt.Model())
+			if err != nil {
+				return PointResult{}, err
+			}
+			return modelPointResult(pt, sp, res, arr.NumPrimary(), arr.NumCells()), nil
 		}
 		chip, err := core.New(design, pt.NPrimary)
 		if err != nil {
@@ -86,30 +104,47 @@ func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, er
 			EffectiveYield: ya.EffectiveYield,
 			NoRedundancy:   ya.NoRedundancy,
 		}, nil
+	case Hex:
+		design, err := layout.DesignByName(pt.Design)
+		if err != nil {
+			return PointResult{}, fmt.Errorf("sweep: %w", err)
+		}
+		mc := sp.MonteCarlo()
+		hy, err := mc.HexYieldContext(ctx, design, pt.NPrimary, pt.P, pt.Model())
+		if err != nil {
+			return PointResult{}, err
+		}
+		return modelPointResult(pt, sp, hy.Result, hy.NPrimary, hy.NTotal), nil
 	case Shifted:
 		pl, err := sqgrid.PlacementWithPrimaryTarget(pt.NPrimary, pt.SpareRows)
 		if err != nil {
 			return PointResult{}, err
 		}
 		mc := sp.MonteCarlo()
-		res, err := mc.ShiftedYieldContext(ctx, pl, pt.P)
+		res, err := mc.ShiftedYieldModelContext(ctx, pl, pt.P, pt.Model())
 		if err != nil {
 			return PointResult{}, err
 		}
-		nTotal := pl.Grid.NumCells()
-		return PointResult{
-			Point:          pt,
-			NTotal:         nTotal,
-			Runs:           mc.Runs,
-			Seed:           sp.Seed,
-			Yield:          res.Yield,
-			CILo:           res.CILo,
-			CIHi:           res.CIHi,
-			EffectiveYield: yieldsim.EffectiveYieldCells(res.Yield, pt.NPrimary, nTotal),
-			NoRedundancy:   yieldsim.NoRedundancy(pt.P, pt.NPrimary),
-		}, nil
+		return modelPointResult(pt, sp, res, pt.NPrimary, pl.Grid.NumCells()), nil
 	}
 	return PointResult{}, fmt.Errorf("sweep: unknown strategy %q", pt.Strategy)
+}
+
+// modelPointResult assembles a Monte-Carlo point result from a kernel
+// estimate plus the realized cell counts, attaching the independent p^n
+// baseline every strategy is compared against.
+func modelPointResult(pt Point, sp core.SimParams, res yieldsim.Result, nPrimary, nTotal int) PointResult {
+	return PointResult{
+		Point:          pt,
+		NTotal:         nTotal,
+		Runs:           res.Runs,
+		Seed:           sp.Seed,
+		Yield:          res.Yield,
+		CILo:           res.CILo,
+		CIHi:           res.CIHi,
+		EffectiveYield: yieldsim.EffectiveYieldCells(res.Yield, nPrimary, nTotal),
+		NoRedundancy:   yieldsim.NoRedundancy(pt.P, pt.NPrimary),
+	}
 }
 
 // Evaluator adapts Evaluate with fixed simulation parameters to an EvalFunc

@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// FuzzSpecExpand drives Spec validation with adversarial axis values. The
+// invariants: Expand never panics; an accepted spec plans a finite,
+// internally consistent grid (len(Expand()) == NumPoints(), indices dense,
+// every point's axes validate individually). The seed corpus runs in plain
+// `go test`; `go test -fuzz=FuzzSpecExpand ./internal/sweep` explores
+// further.
+func FuzzSpecExpand(f *testing.F) {
+	f.Add("local", "DTMB(2,6)", 100, 0.9, 1.0, 11, 1, "independent", 4.0)
+	f.Add("hex", "DTMB(4,4)", 60, 0.95, 0.95, 1, 1, "clustered", 2.0)
+	f.Add("shifted", "", 40, 0.0, 0.0, 0, 3, "clustered", 0.0)
+	f.Add("none", "", 1, -1.5, 2.5, 5, 0, "weird", -3.0)
+	f.Add("teleport", "DTMB(9,9)", -7, 0.5, 0.4, 1000000, -2, "", 1e300)
+	f.Add("", "", 0, 0.0, 0.0, -1, 0, "independent", 0.5)
+	f.Fuzz(func(t *testing.T, strategy, design string, n int, pmin, pmax float64,
+		points, spareRows int, model string, clusterSize float64) {
+		s := Spec{
+			PMin:        pmin,
+			PMax:        pmax,
+			PPoints:     points,
+			ClusterSize: clusterSize,
+		}
+		if strategy != "" {
+			s.Strategies = []Strategy{Strategy(strategy)}
+		}
+		if design != "" {
+			s.Designs = []string{design}
+		}
+		if n != 0 {
+			s.NPrimaries = []int{n}
+		}
+		if spareRows != 0 {
+			s.SpareRows = []int{spareRows}
+		}
+		if model != "" {
+			s.DefectModels = []DefectModel{DefectModel(model)}
+		}
+		// Keep accepted grids small enough to materialize: PPoints is the
+		// only axis that can explode, so clamp it like a caller would.
+		if s.PPoints > 10000 {
+			s.PPoints = 10000
+		}
+		pts, err := s.Expand()
+		if err != nil {
+			return // rejected specs just must not panic
+		}
+		if got, want := len(pts), s.NumPoints(); got != want {
+			t.Fatalf("len(Expand()) = %d, NumPoints() = %d", got, want)
+		}
+		for i, pt := range pts {
+			if pt.Index != i {
+				t.Fatalf("point %d carries index %d", i, pt.Index)
+			}
+			if pt.NPrimary <= 0 {
+				t.Fatalf("accepted point with n=%d", pt.NPrimary)
+			}
+			if pt.P != pt.P || pt.P < 0 || pt.P > 1 {
+				t.Fatalf("accepted point with p=%v", pt.P)
+			}
+			if pt.DefectModel != Independent && pt.DefectModel != Clustered {
+				t.Fatalf("accepted point with model %q", pt.DefectModel)
+			}
+			if pt.DefectModel == Clustered && pt.ClusterSize < 1 {
+				t.Fatalf("accepted clustered point with size %v", pt.ClusterSize)
+			}
+		}
+	})
+}

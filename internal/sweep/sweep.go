@@ -12,20 +12,30 @@
 // engine wraps the same Point type with its LRU cache and single-flight
 // layer so every grid point of an HTTP sweep is individually cacheable.
 //
-// Three redundancy strategies are understood:
+// Four redundancy strategies are understood:
 //
 //   - "none": no spares at all; yield is the closed form p^n.
-//   - "local": a DTMB(s,p) interstitial-redundancy design repaired by local
-//     reconfiguration (the paper's proposal), estimated by the chunk-seeded
-//     Monte-Carlo kernel.
+//   - "local": a DTMB(s,p) interstitial-redundancy design on a parallelogram
+//     footprint repaired by local reconfiguration (the paper's proposal),
+//     estimated by the chunk-seeded Monte-Carlo kernel.
 //   - "shifted": a square array with boundary spare rows repaired by shifted
 //     replacement (the baseline of the paper's Fig. 2), estimated by the
 //     same kernel over sqgrid placements.
+//   - "hex": the same DTMB(s,p) interstitial designs instantiated over a
+//     regular hexagonal chip footprint (the companion fault-tolerance work's
+//     hexagonal-array geometry), repaired by the same six-neighbor matcher.
+//
+// Orthogonally to the strategy axis, every point carries a spatial defect
+// model: "independent" (the paper's i.i.d. Bernoulli assumption) or
+// "clustered" (center-seeded clusters with geometric radius decay at the
+// same expected defect density), so redundancy schemes can be compared under
+// realistic spatially correlated manufacturing defects.
 package sweep
 
 import (
 	"fmt"
 
+	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/stats"
 )
@@ -33,26 +43,54 @@ import (
 // Strategy names a redundancy/reconfiguration scheme.
 type Strategy string
 
-// The three supported strategies.
+// The four supported strategies.
 const (
 	// None is the no-redundancy baseline: any fault discards the chip.
 	None Strategy = "none"
-	// Local is interstitial redundancy with local reconfiguration, the
-	// paper's proposal. Points carry a DTMB design name.
+	// Local is interstitial redundancy with local reconfiguration on a
+	// parallelogram footprint, the paper's proposal. Points carry a DTMB
+	// design name.
 	Local Strategy = "local"
 	// Shifted is boundary spare rows with shifted replacement, the baseline
 	// of the paper's Fig. 2. Points carry a spare-row count.
 	Shifted Strategy = "shifted"
+	// Hex is interstitial redundancy on a regular hexagonal chip footprint,
+	// the hexagonal-array DTMB geometry of the companion fault-tolerance
+	// work. Points carry a DTMB design name, like Local.
+	Hex Strategy = "hex"
 )
 
 // valid reports whether s is a known strategy.
 func (s Strategy) valid() bool {
 	switch s {
-	case None, Local, Shifted:
+	case None, Local, Shifted, Hex:
 		return true
 	}
 	return false
 }
+
+// DefectModel names a spatial defect model along the sweep's defect-model
+// axis.
+type DefectModel string
+
+// The two supported defect models.
+const (
+	// Independent is the paper's assumption: every cell fails i.i.d. with
+	// probability 1−p.
+	Independent DefectModel = "independent"
+	// Clustered seeds defect clusters with geometric radius decay at the
+	// same expected density (1−p)·N; points carry a cluster size.
+	Clustered DefectModel = "clustered"
+)
+
+// valid reports whether m is a known defect model.
+func (m DefectModel) valid() bool {
+	return m == Independent || m == Clustered
+}
+
+// DefaultClusterSize is the expected cells per cluster when a spec sweeps
+// the clustered model without choosing a size.
+const DefaultClusterSize = 4.0
 
 // Spec describes a sweep grid. Zero-valued axes take the defaults noted on
 // each field; every combination of the applicable axes becomes one Point.
@@ -60,9 +98,9 @@ type Spec struct {
 	// Strategies lists the redundancy schemes to evaluate; empty means
 	// {Local}.
 	Strategies []Strategy
-	// Designs lists DTMB design names for the Local strategy (canonical
-	// names as produced by layout, e.g. "DTMB(2,6)"); empty means the four
-	// canonical Table 1 designs. Ignored by None and Shifted.
+	// Designs lists DTMB design names for the Local and Hex strategies
+	// (canonical names as produced by layout, e.g. "DTMB(2,6)"); empty means
+	// the four canonical Table 1 designs. Ignored by None and Shifted.
 	Designs []string
 	// NPrimaries lists primary-cell counts n; empty means {100}.
 	NPrimaries []int
@@ -74,8 +112,14 @@ type Spec struct {
 	PMin, PMax float64
 	PPoints    int
 	// SpareRows lists boundary spare-row counts for the Shifted strategy;
-	// empty means {1}. Ignored by None and Local.
+	// empty means {1}. Ignored by the other strategies.
 	SpareRows []int
+	// DefectModels lists the spatial defect models to evaluate; empty means
+	// {Independent}. The models multiply every strategy's grid.
+	DefectModels []DefectModel
+	// ClusterSize is the expected faulty cells per cluster for the Clustered
+	// model; 0 means DefaultClusterSize. Ignored by Independent points.
+	ClusterSize float64
 }
 
 // withDefaults fills the documented defaults for empty axes.
@@ -105,6 +149,12 @@ func (s Spec) withDefaults() Spec {
 	if len(s.SpareRows) == 0 {
 		s.SpareRows = []int{1}
 	}
+	if len(s.DefectModels) == 0 {
+		s.DefectModels = []DefectModel{Independent}
+	}
+	if s.ClusterSize == 0 {
+		s.ClusterSize = DefaultClusterSize
+	}
 	return s
 }
 
@@ -124,7 +174,7 @@ func (s Spec) PValues() []float64 {
 func (s Spec) validate() error {
 	for _, st := range s.Strategies {
 		if !st.valid() {
-			return fmt.Errorf("sweep: unknown strategy %q (want none, local or shifted)", st)
+			return fmt.Errorf("sweep: unknown strategy %q (want none, local, shifted or hex)", st)
 		}
 	}
 	for _, name := range s.Designs {
@@ -155,6 +205,14 @@ func (s Spec) validate() error {
 			return fmt.Errorf("sweep: spare-row count %d must be at least 1", r)
 		}
 	}
+	for _, m := range s.DefectModels {
+		if !m.valid() {
+			return fmt.Errorf("sweep: unknown defect model %q (want independent or clustered)", m)
+		}
+	}
+	if s.ClusterSize != s.ClusterSize || s.ClusterSize < 1 {
+		return fmt.Errorf("sweep: cluster size %v must be at least 1", s.ClusterSize)
+	}
 	return nil
 }
 
@@ -165,7 +223,7 @@ func (s Spec) NumPoints() int {
 	total := 0
 	for _, st := range s.Strategies {
 		switch st {
-		case Local:
+		case Local, Hex:
 			total += len(s.Designs) * nps
 		case Shifted:
 			total += len(s.SpareRows) * nps
@@ -173,7 +231,7 @@ func (s Spec) NumPoints() int {
 			total += nps
 		}
 	}
-	return total
+	return total * len(s.DefectModels)
 }
 
 // Point is one scenario of a sweep grid: a redundancy strategy with its
@@ -183,7 +241,7 @@ type Point struct {
 	Index int
 	// Strategy selects the redundancy/reconfiguration scheme.
 	Strategy Strategy
-	// Design is the DTMB design name (Local strategy only; "" otherwise).
+	// Design is the DTMB design name (Local and Hex strategies; "" otherwise).
 	Design string
 	// NPrimary is the number of working cells n.
 	NPrimary int
@@ -191,12 +249,22 @@ type Point struct {
 	SpareRows int
 	// P is the cell survival probability.
 	P float64
+	// DefectModel selects the spatial defect model of the point.
+	DefectModel DefectModel
+	// ClusterSize is the expected faulty cells per cluster (Clustered model
+	// only; 0 otherwise).
+	ClusterSize float64
+}
+
+// Model converts the point's defect-model axes to the defects package type.
+func (pt Point) Model() defects.Model {
+	return defects.Model{Clustered: pt.DefectModel == Clustered, ClusterSize: pt.ClusterSize}
 }
 
 // Expand validates the spec and flattens it into its ordered point list.
 // The order is deterministic: strategies in the given order; within a
-// strategy the applicable strategy axis (design or spare rows) varies
-// slowest, then NPrimary, then P fastest.
+// strategy the defect model varies slowest, then the applicable strategy
+// axis (design or spare rows), then NPrimary, then P fastest.
 func (s Spec) Expand() ([]Point, error) {
 	s = s.withDefaults()
 	if err := s.validate(); err != nil {
@@ -209,27 +277,33 @@ func (s Spec) Expand() ([]Point, error) {
 		pts = append(pts, pt)
 	}
 	for _, st := range s.Strategies {
-		switch st {
-		case Local:
-			for _, d := range s.Designs {
-				for _, n := range s.NPrimaries {
-					for _, p := range ps {
-						add(Point{Strategy: Local, Design: d, NPrimary: n, P: p})
+		for _, m := range s.DefectModels {
+			size := 0.0
+			if m == Clustered {
+				size = s.ClusterSize
+			}
+			switch st {
+			case Local, Hex:
+				for _, d := range s.Designs {
+					for _, n := range s.NPrimaries {
+						for _, p := range ps {
+							add(Point{Strategy: st, Design: d, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+						}
 					}
 				}
-			}
-		case Shifted:
-			for _, r := range s.SpareRows {
-				for _, n := range s.NPrimaries {
-					for _, p := range ps {
-						add(Point{Strategy: Shifted, SpareRows: r, NPrimary: n, P: p})
+			case Shifted:
+				for _, r := range s.SpareRows {
+					for _, n := range s.NPrimaries {
+						for _, p := range ps {
+							add(Point{Strategy: Shifted, SpareRows: r, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+						}
 					}
 				}
-			}
-		default:
-			for _, n := range s.NPrimaries {
-				for _, p := range ps {
-					add(Point{Strategy: None, NPrimary: n, P: p})
+			default:
+				for _, n := range s.NPrimaries {
+					for _, p := range ps {
+						add(Point{Strategy: None, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+					}
 				}
 			}
 		}

@@ -12,7 +12,10 @@
 // A third estimator, ShiftedYield, applies the same trial structure to the
 // boundary-spare-row arrays of the shifted-replacement baseline the paper
 // argues against (Fig. 2), so the two redundancy schemes can be compared on
-// equal footing in parameter sweeps.
+// equal footing in parameter sweeps. HexYieldContext runs the kernel over
+// DTMB arrays instantiated on a regular hexagonal chip footprint, and the
+// *ModelContext variants evaluate any of these under an explicit spatial
+// defect model (independent Bernoulli or clustered, defects.Model).
 //
 // The effective yield EY = Y·n/N = Y/(1+RR) weighs yield against the area
 // overhead of redundancy (paper Fig. 10).
@@ -311,8 +314,22 @@ func (mc *MonteCarlo) ShiftedYield(pl sqgrid.Placement, p float64) (Result, erro
 
 // ShiftedYieldContext is ShiftedYield with cancellation.
 func (mc *MonteCarlo) ShiftedYieldContext(ctx context.Context, pl sqgrid.Placement, p float64) (Result, error) {
+	return mc.ShiftedYieldModelContext(ctx, pl, p, defects.Model{})
+}
+
+// ShiftedYieldModelContext is ShiftedYieldContext under an explicit spatial
+// defect model: the zero model is the independent Bernoulli assumption of
+// ShiftedYield; the clustered model draws Chebyshev-ring clusters on the
+// square grid targeting the same expected defect density (1−p)·N. Column
+// redundancy is notoriously fragile under clustering — one cluster spanning
+// two columns of a module kills both cascades — which is exactly what this
+// estimator lets a sweep exhibit.
+func (mc *MonteCarlo) ShiftedYieldModelContext(ctx context.Context, pl sqgrid.Placement, p float64, model defects.Model) (Result, error) {
 	if math.IsNaN(p) || p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+	}
+	if err := model.Validate(); err != nil {
+		return Result{}, err
 	}
 	if err := pl.Validate(); err != nil {
 		return Result{}, err
@@ -336,10 +353,9 @@ func (mc *MonteCarlo) ShiftedYieldContext(ctx context.Context, pl sqgrid.Placeme
 	w, h := pl.Grid.W, pl.Grid.H
 	firstSpare := h - pl.SpareRows
 	n := pl.Grid.NumCells()
-	return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs = in.BernoulliN(n, p, fs)
+	cascadesRepairAll := func(fs *defects.FaultSet) bool {
 		if fs.Count() == 0 {
-			return fs, true, nil
+			return true
 		}
 		for x := 0; x < w; x++ {
 			faultyUsed, deepest := 0, -1
@@ -354,16 +370,84 @@ func (mc *MonteCarlo) ShiftedYieldContext(ctx context.Context, pl sqgrid.Placeme
 				continue
 			}
 			if faultyUsed > 1 {
-				return fs, false, nil
+				return false
 			}
 			for y := deepest + 1; y <= firstSpare; y++ {
 				if fs.IsFaulty(layout.CellID(y*w + x)) {
-					return fs, false, nil
+					return false
 				}
 			}
 		}
-		return fs, true, nil
+		return true
+	}
+	if model.Clustered {
+		cp := model.Params(p, n)
+		return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+			fs, _, err := in.ClusteredGrid(w, h, cp, fs)
+			if err != nil {
+				return fs, false, err
+			}
+			return fs, cascadesRepairAll(fs), nil
+		})
+	}
+	return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs = in.BernoulliN(n, p, fs)
+		return fs, cascadesRepairAll(fs), nil
 	})
+}
+
+// YieldModelContext is YieldContext under an explicit spatial defect model:
+// the zero model reproduces YieldContext's independent Bernoulli failures,
+// and the clustered model draws hexagonal-ring clusters targeting the same
+// expected defect density (1−p)·N, so the two models are comparable
+// point-for-point along the p axis. The chunk-seeded kernel keeps either
+// estimate deterministic in (Seed, Runs, ChunkSize) regardless of Workers.
+func (mc *MonteCarlo) YieldModelContext(ctx context.Context, arr *layout.Array, p float64, model defects.Model) (Result, error) {
+	if !model.Clustered {
+		return mc.YieldContext(ctx, arr, p)
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+	}
+	if err := model.Validate(); err != nil {
+		return Result{}, err
+	}
+	cp := model.Params(p, arr.NumCells())
+	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
+		fs, _, err := in.Clustered(arr, cp, fs)
+		if err != nil {
+			return fs, false, err
+		}
+		ok, err := mc.reconfigure(arr, fs)
+		return fs, ok, err
+	})
+}
+
+// HexYield is the outcome of a hexagonal-footprint yield estimate: the
+// Monte-Carlo result plus the realized cell counts of the hexagon build
+// (NTotal exceeds NPrimary by the interstitial spares).
+type HexYield struct {
+	Result
+	NPrimary, NTotal int
+}
+
+// HexYieldContext estimates the yield of design d instantiated over a
+// regular hexagonal chip footprint with nPrimary primary cells
+// (layout.BuildHexagonWithPrimaryTarget) under the given spatial defect
+// model. Repair is the same local-reconfiguration matcher over the
+// six-neighbor topology used for parallelogram arrays — the bipartite
+// matching is footprint-agnostic — so differences against YieldModelContext
+// at equal n isolate the boundary shape.
+func (mc *MonteCarlo) HexYieldContext(ctx context.Context, d layout.Design, nPrimary int, p float64, model defects.Model) (HexYield, error) {
+	arr, err := layout.BuildHexagonWithPrimaryTarget(d, nPrimary)
+	if err != nil {
+		return HexYield{}, err
+	}
+	res, err := mc.YieldModelContext(ctx, arr, p, model)
+	if err != nil {
+		return HexYield{}, err
+	}
+	return HexYield{Result: res, NPrimary: arr.NumPrimary(), NTotal: arr.NumCells()}, nil
 }
 
 // SweepPoint is one (p, yield) sample of a sweep.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the hex and clustered-defect kernel benchmarks and emit a
+# machine-readable baseline to BENCH_hex_cluster.json (at the repo root, or
+# at $1 if given). Compare runs with:
+#
+#   scripts/bench.sh && git diff BENCH_hex_cluster.json
+#
+# BENCH_PATTERN and BENCH_COUNT override the benchmark selection and the
+# repetition count (defaults: the hex/clustered kernels, 1 repetition).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_hex_cluster.json}"
+pattern="${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}"
+count="${BENCH_COUNT:-1}"
+
+raw="$(go test -run '^$' -bench "$pattern" -benchmem -count "$count" .)"
+
+{
+  echo '{'
+  echo '  "suite": "dmfb hex + clustered-defect kernels",'
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"pattern\": \"$pattern\","
+  echo '  "benchmarks": ['
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                     name, $2, $3, $5, $7)
+      if (n++) printf(",\n")
+      printf("%s", line)
+    }
+    END { printf("\n") }'
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "wrote $out:"
+cat "$out"
