@@ -10,14 +10,19 @@ package dmfb_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"dmfb/client"
 	"dmfb/internal/chip"
 	"dmfb/internal/defects"
 	"dmfb/internal/experiments"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/service"
 	"dmfb/internal/stats"
 	"dmfb/internal/yieldsim"
 )
@@ -307,6 +312,73 @@ func BenchmarkClusteredInjector(b *testing.B) {
 		fs, _, err = in.Clustered(arr, cp, fs)
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJobStore measures the v2 job machinery itself — plan, job
+// registration, per-point emission/encoding, completion — on a 202-point
+// closed-form grid, so no Monte-Carlo time drowns the store overhead.
+func BenchmarkJobStore(b *testing.B) {
+	engine := service.NewEngine(service.EngineConfig{DefaultRuns: 100})
+	jobs := service.NewJobStore(engine, service.JobStoreConfig{MaxJobs: 4})
+	defer jobs.Close(context.Background())
+	req := service.SweepRequest{
+		Strategies: []string{"none"},
+		NPrimaries: []int{100, 200},
+		PMin:       0.90, PMax: 1.00, PPoints: 101,
+		Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := jobs.Create(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := j.Wait(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != service.JobCompleted || st.PointsDone != 202 {
+			b.Fatalf("job ended %+v", st)
+		}
+	}
+}
+
+// BenchmarkClientJobStream measures end-to-end streaming throughput of the
+// typed client over HTTP: one pass decodes every record of a completed
+// 202-point job through GET /v2/jobs/{id}/results.
+func BenchmarkClientJobStream(b *testing.B) {
+	engine := service.NewEngine(service.EngineConfig{DefaultRuns: 100})
+	jobs := service.NewJobStore(engine, service.JobStoreConfig{})
+	defer jobs.Close(context.Background())
+	srv := httptest.NewServer(service.NewHandler(engine, jobs, log.New(io.Discard, "", 0)))
+	defer srv.Close()
+	c := client.New(srv.URL)
+	st, err := c.CreateJob(context.Background(), service.SweepRequest{
+		Strategies: []string{"none"},
+		NPrimaries: []int{100, 200},
+		PMin:       0.90, PMax: 1.00, PPoints: 101,
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Job(context.Background(), st.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		next, err := c.StreamJobResults(context.Background(), st.ID, 0, func(service.SweepRecord) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if next != 202 || n != 202 {
+			b.Fatalf("streamed %d records, next %d", n, next)
 		}
 	}
 }

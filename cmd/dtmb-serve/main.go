@@ -1,17 +1,23 @@
 // Command dtmb-serve runs the yield-analysis HTTP service: Monte-Carlo
-// yield estimation, design recommendation, and reconfiguration-plan queries
-// over the DTMB defect-tolerance machinery, with an LRU result cache and
-// single-flight deduplication of concurrent identical requests.
+// yield estimation, design recommendation, reconfiguration-plan queries,
+// single-scenario evaluation, and asynchronous resumable sweep jobs over
+// the DTMB defect-tolerance machinery, with an LRU result cache and
+// single-flight deduplication of concurrent identical requests. POST bodies
+// must declare Content-Type: application/json.
 //
-// Examples:
+// Examples (the jq-free flavor; package client is the typed alternative):
 //
 //	dtmb-serve -addr :8080
-//	curl -s localhost:8080/v1/yield -d '{"design":"DTMB(2,6)","n_primary":100,"p":0.95,"runs":2000,"seed":7}'
-//	curl -s localhost:8080/v1/recommend -d '{"p":0.95,"n_primary":100,"runs":2000,"seed":7}'
-//	curl -s localhost:8080/v1/reconfigure -d '{"design":"dtmb26","n_primary":100,"faulty_cells":[3,17]}'
+//	curl -s -H 'Content-Type: application/json' localhost:8080/v1/yield \
+//	    -d '{"design":"DTMB(2,6)","n_primary":100,"p":0.95,"runs":2000,"seed":7}'
+//	curl -s -H 'Content-Type: application/json' localhost:8080/v2/evaluate \
+//	    -d '{"strategy":"hex","design":"dtmb26","n_primary":100,"p":0.95,"seed":7}'
+//	curl -s -H 'Content-Type: application/json' localhost:8080/v2/jobs \
+//	    -d '{"strategies":["local","hex"],"runs":2000,"seed":7}'
+//	curl -sN 'localhost:8080/v2/jobs/job-1/results?cursor=0'
 //	curl -s localhost:8080/v1/stats
 //
-// See DESIGN.md for the full API contract.
+// See API.md for the full contract and DESIGN.md for the architecture.
 package main
 
 import (
@@ -34,7 +40,9 @@ func main() {
 		workers       = flag.Int("workers", 0, "goroutines per simulation (0 = GOMAXPROCS); does not affect results")
 		chunkSize     = flag.Int("chunk-size", 0, "Monte-Carlo trials per work unit (0 = yieldsim default); part of the determinism contract")
 		maxConcurrent = flag.Int("max-concurrent", 0, "simulations admitted at once (0 = 2; each simulation already parallelizes across cores)")
-		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout")
+		maxJobs       = flag.Int("max-jobs", 0, "sweep jobs retained in memory, running and finished combined (0 = 128)")
+		maxResultMB   = flag.Int("max-result-mb", 0, "MiB of encoded job results retained by finished jobs before oldest-first eviction (0 = 64)")
+		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout (requests and running jobs)")
 	)
 	flag.Parse()
 
@@ -47,6 +55,7 @@ func main() {
 			ChunkSize:     *chunkSize,
 			MaxConcurrent: *maxConcurrent,
 		},
+		Jobs: service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -4,11 +4,19 @@
 // paper's yield-versus-defect-probability curves (Figs. 7, 9, 10) with a
 // plotting tool of choice.
 //
-// It drives the same sweep engine as the POST /v1/sweep endpoint of
-// dtmb-serve, including its result cache and admission control, so repeated
-// grid points cost one simulation. Because the Monte-Carlo kernel is
-// chunk-seeded, output is byte-identical for a given (grid, runs, seed,
-// chunk size) regardless of -workers or GOMAXPROCS.
+// It drives the same sweep engine as the sweep endpoints of dtmb-serve,
+// including its result cache and admission control, so repeated grid points
+// cost one simulation. Because the Monte-Carlo kernel is chunk-seeded,
+// output is byte-identical for a given (grid, runs, seed, chunk size)
+// regardless of -workers or GOMAXPROCS.
+//
+// With -server the grid is not evaluated in-process: the sweep runs as an
+// asynchronous job on a dtmb-serve instance (POST /v2/jobs) and the records
+// are streamed through the typed client, which transparently resumes the
+// stream after a dropped connection. CSV output is byte-identical to the
+// in-process run for the same engine configuration (CSV carries no cache
+// provenance); NDJSON records may additionally say "cached":true when the
+// server's result cache is warm.
 //
 // Examples:
 //
@@ -16,6 +24,7 @@
 //	dtmb-sweep -strategies local,none,shifted,hex -n 100 -spare-rows 1,2 -runs 2000 -o grid.csv
 //	dtmb-sweep -defect-models independent,clustered -cluster-size 4 -ps 0.95,0.99
 //	dtmb-sweep -format ndjson -strategies hex -designs 'DTMB(4,4)'
+//	dtmb-sweep -server http://localhost:8080 -strategies local,hex -runs 2000
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"dmfb/client"
 	"dmfb/internal/service"
 )
 
@@ -45,6 +56,7 @@ type options struct {
 	seed                            int64
 	workers, chunkSize              int
 	format, outPath                 string
+	server                          string
 }
 
 // registerFlags declares every dtmb-sweep flag on fs; split from main so the
@@ -67,6 +79,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.IntVar(&o.chunkSize, "chunk-size", 0, "trials per Monte-Carlo work unit (0 = default 256); part of the determinism contract")
 	fs.StringVar(&o.format, "format", "csv", "output format: csv or ndjson")
 	fs.StringVar(&o.outPath, "o", "", "output file (default stdout)")
+	fs.StringVar(&o.server, "server", "", "dtmb-serve base URL; when set, run the sweep as a remote /v2 job instead of in-process (ignores -workers and -chunk-size)")
 	return &o
 }
 
@@ -108,44 +121,82 @@ func main() {
 		Seed:         o.seed,
 	}
 
+	if o.format != "csv" && o.format != "ndjson" {
+		fail(fmt.Errorf("unknown format %q (want csv or ndjson)", o.format))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Validate before touching the output file, so a bad flag cannot
+	// truncate a previously generated results file: locally via PlanSweep,
+	// remotely by creating the job (server-side validation errors arrive at
+	// creation, before any output is written).
+	if o.server != "" {
+		c := client.New(o.server)
+		st, err := c.CreateJob(ctx, req)
+		if err != nil {
+			fail(err)
+		}
+		err = writeRecords(o.format, o.outPath, func(emit func(service.SweepRecord) error) error {
+			_, err := c.StreamJobResults(ctx, st.ID, 0, emit)
+			return err
+		})
+		if err != nil {
+			// The job keeps simulating on the server without us; cancel it
+			// so a CLI run that failed anywhere after creation — output
+			// file, emitter, stream, or flush — does not leave abandoned
+			// work burning remote CPU.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _ = c.CancelJob(cctx, st.ID)
+			fail(err)
+		}
+		return
+	}
+
 	engine := service.NewEngine(service.EngineConfig{
 		DefaultRuns: o.runs,
 		Workers:     o.workers,
 		ChunkSize:   o.chunkSize,
 	})
-	// Validate the whole request before touching the output file, so a bad
-	// flag cannot truncate a previously generated results file.
 	plan, err := engine.PlanSweep(req)
 	if err != nil {
 		fail(err)
 	}
-	if o.format != "csv" && o.format != "ndjson" {
-		fail(fmt.Errorf("unknown format %q (want csv or ndjson)", o.format))
-	}
-
-	var out io.Writer = os.Stdout
-	if o.outPath != "" {
-		f, err := os.Create(o.outPath)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		out = f
-	}
-
-	emit, finish, err := newEmitter(o.format, out)
+	err = writeRecords(o.format, o.outPath, func(emit func(service.SweepRecord) error) error {
+		return engine.RunSweep(ctx, plan, emit)
+	})
 	if err != nil {
 		fail(err)
 	}
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := engine.RunSweep(ctx, plan, emit); err != nil {
-		fail(err)
+// writeRecords opens the output target, builds the format's emitter, runs
+// the sweep through it, and flushes — the shared scaffold of the local and
+// remote paths.
+func writeRecords(format, outPath string, run func(emit func(service.SweepRecord) error) error) (err error) {
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, ferr := os.Create(outPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		out = f
 	}
-	if err := finish(); err != nil {
-		fail(err)
+	emit, finish, err := newEmitter(format, out)
+	if err != nil {
+		return err
 	}
+	if err := run(emit); err != nil {
+		return err
+	}
+	return finish()
 }
 
 // newEmitter returns the per-record writer and a final flush for the format.

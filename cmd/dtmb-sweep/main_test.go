@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
+	"io"
+	"log"
 	"reflect"
 	"strings"
 	"testing"
+
+	"dmfb/client"
+	"dmfb/internal/service"
 )
 
 // TestHelpNamesAllStrategiesAndAxes smoke-tests the -h output: every
@@ -24,10 +30,88 @@ func TestHelpNamesAllStrategiesAndAxes(t *testing.T) {
 		"independent, clustered", // both defect models, in the -defect-models doc
 		"cluster-size",
 		"spare-rows",
+		"dtmb-serve base URL", // the -server remote path
 	} {
 		if !strings.Contains(usage, want) {
 			t.Errorf("-h output does not mention %q:\n%s", want, usage)
 		}
+	}
+}
+
+// TestRemoteSweepMatchesLocalBytes runs the same grid through both of
+// main's paths — the in-process engine and a remote /v2 job streamed by the
+// typed client — into the CSV emitter, and asserts identical bytes. The
+// engine configurations match (same default runs, default chunk size), so
+// the chunk-seeded kernel pins every digit.
+func TestRemoteSweepMatchesLocalBytes(t *testing.T) {
+	req := service.SweepRequest{
+		Strategies:   []string{"none", "local", "shifted", "hex"},
+		Designs:      []string{"DTMB(2,6)"},
+		NPrimaries:   []int{40},
+		Ps:           []float64{0.9, 0.95},
+		SpareRows:    []int{1},
+		DefectModels: []string{"independent", "clustered"},
+		ClusterSize:  4,
+		Runs:         150,
+		Seed:         11,
+	}
+
+	runEmitter := func(run func(emit func(service.SweepRecord) error) error) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		emit, finish, err := newEmitter("csv", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(emit); err != nil {
+			t.Fatal(err)
+		}
+		if err := finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	engine := service.NewEngine(service.EngineConfig{DefaultRuns: req.Runs})
+	local := runEmitter(func(emit func(service.SweepRecord) error) error {
+		plan, err := engine.PlanSweep(req)
+		if err != nil {
+			return err
+		}
+		return engine.RunSweep(context.Background(), plan, emit)
+	})
+
+	srv := service.NewServer(service.ServerConfig{
+		Addr:   "127.0.0.1:0",
+		Engine: service.EngineConfig{DefaultRuns: req.Runs},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	defer func() {
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Error(err)
+		}
+	}()
+
+	c := client.New("http://" + srv.Addr())
+	remote := runEmitter(func(emit func(service.SweepRecord) error) error {
+		st, err := c.CreateJob(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		_, err = c.StreamJobResults(context.Background(), st.ID, 0, emit)
+		return err
+	})
+
+	if !bytes.Equal(local, remote) {
+		t.Errorf("remote CSV differs from local CSV:\nlocal:\n%s\nremote:\n%s", local, remote)
 	}
 }
 

@@ -3,17 +3,27 @@
 // aligned tables or CSV. It is the workhorse behind the paper's Figs. 7, 9
 // and 10.
 //
+// With -server the estimates are not computed in-process: each (design, p)
+// cell is evaluated by a dtmb-serve instance through the typed client
+// (POST /v2/evaluate), sharing the server's result cache with every other
+// consumer of the same scenarios.
+//
 // Examples:
 //
 //	dtmb-yield -design 'DTMB(2,6)' -n 100 -pmin 0.90 -pmax 1.0 -points 11
 //	dtmb-yield -all -n 100 -runs 10000 -csv
+//	dtmb-yield -all -server http://localhost:8080 -runs 10000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"dmfb/client"
 	"dmfb/internal/layout"
 	"dmfb/internal/stats"
 	"dmfb/internal/yieldsim"
@@ -31,8 +41,14 @@ func main() {
 		seed       = flag.Int64("seed", 20050307, "PRNG seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		analytic   = flag.Bool("analytic", false, "also print the DTMB(1,6) closed-form and no-redundancy baselines")
+		server     = flag.String("server", "", "dtmb-serve base URL; when set, evaluate each point remotely via /v2/evaluate")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dtmb-yield:", err)
+		os.Exit(1)
+	}
 
 	var designs []layout.Design
 	if *all {
@@ -40,8 +56,7 @@ func main() {
 	} else {
 		d, err := layout.DesignByName(*designName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtmb-yield:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		designs = []layout.Design{d}
 	}
@@ -60,22 +75,42 @@ func main() {
 
 	type cellResult struct{ y, ey float64 }
 	results := make([][]cellResult, len(designs))
-	for di, d := range designs {
-		arr, err := layout.BuildWithPrimaryTarget(d, *n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dtmb-yield:", err)
-			os.Exit(1)
-		}
-		mc := yieldsim.NewMonteCarlo(*seed)
-		mc.Runs = *runs
-		for _, p := range ps {
-			res, err := mc.Yield(arr, p)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dtmb-yield:", err)
-				os.Exit(1)
+	if *server != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		c := client.New(*server)
+		for di, d := range designs {
+			for _, p := range ps {
+				rec, err := c.Evaluate(ctx, client.Scenario{
+					Strategy: "local",
+					Design:   d.Name,
+					NPrimary: *n,
+					P:        p,
+					Runs:     *runs,
+					Seed:     *seed,
+				})
+				if err != nil {
+					fail(err)
+				}
+				results[di] = append(results[di], cellResult{rec.Yield, rec.EffectiveYield})
 			}
-			ey := yieldsim.EffectiveYieldCells(res.Yield, arr.NumPrimary(), arr.NumCells())
-			results[di] = append(results[di], cellResult{res.Yield, ey})
+		}
+	} else {
+		for di, d := range designs {
+			arr, err := layout.BuildWithPrimaryTarget(d, *n)
+			if err != nil {
+				fail(err)
+			}
+			mc := yieldsim.NewMonteCarlo(*seed)
+			mc.Runs = *runs
+			for _, p := range ps {
+				res, err := mc.Yield(arr, p)
+				if err != nil {
+					fail(err)
+				}
+				ey := yieldsim.EffectiveYieldCells(res.Yield, arr.NumPrimary(), arr.NumCells())
+				results[di] = append(results[di], cellResult{res.Yield, ey})
+			}
 		}
 	}
 	for pi, p := range ps {

@@ -21,15 +21,19 @@
 //
 // Beyond the library, the repository ships one-shot CLIs under cmd/
 // (dtmb-yield, dtmb-experiments, dtmb-layout, ...), a parameter-sweep tool
-// (cmd/dtmb-sweep, emitting CSV/NDJSON grids of yield scenarios), and an
-// online serving layer: cmd/dtmb-serve exposes yield simulation
-// (POST /v1/yield), design recommendation (POST /v1/recommend),
-// reconfiguration-plan queries (POST /v1/reconfigure) and streaming
-// parameter sweeps (POST /v1/sweep, NDJSON) over HTTP/JSON, backed by
-// internal/service — a batched Monte-Carlo engine with a bounded worker
-// pool, an LRU result cache, and single-flight deduplication of concurrent
-// identical requests. The Monte-Carlo kernel is chunk-seeded, so estimates
-// are deterministic in (seed, runs, chunk size) regardless of parallelism;
+// (cmd/dtmb-sweep, emitting CSV/NDJSON grids of yield scenarios, in-process
+// or against a remote server), and an online serving layer: cmd/dtmb-serve
+// exposes the v1 endpoints (POST /v1/yield, /v1/recommend, /v1/reconfigure,
+// streaming /v1/sweep) and a scenario-first v2 surface — POST /v2/evaluate
+// for one scenario of any strategy × defect model, and POST /v2/jobs for
+// asynchronous sweeps whose NDJSON result streams are cursor-resumable with
+// byte identity — over HTTP/JSON, backed by internal/service: a batched
+// Monte-Carlo engine with a bounded worker pool, an LRU result cache,
+// single-flight deduplication of concurrent identical requests, and an
+// in-memory job store drained by graceful shutdown. Package dmfb/client is
+// the typed Go client of both surfaces, resuming interrupted job streams
+// automatically. The Monte-Carlo kernel is chunk-seeded, so estimates are
+// deterministic in (seed, runs, chunk size) regardless of parallelism;
 // identical requests are therefore cacheable, sweep output is
 // byte-reproducible, and a served answer equals the library answer for the
 // same parameters. DESIGN.md documents the architecture and API.md the full

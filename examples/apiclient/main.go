@@ -1,0 +1,84 @@
+// apiclient: the typed Go client against an in-process dtmb-serve. The
+// example starts the full HTTP server on a loopback port, then walks the v2
+// surface the way a remote consumer would: evaluate one scenario, run a
+// heterogeneous sweep as an asynchronous job with a resumable result
+// stream, poll the job, and read the server stats — all through package
+// client, never raw HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"dmfb/client"
+	"dmfb/internal/service"
+)
+
+func main() {
+	// An in-process server on a loopback port; a real deployment runs
+	// cmd/dtmb-serve and points the client at its address instead.
+	srv := service.NewServer(service.ServerConfig{
+		Addr:   "127.0.0.1:0",
+		Engine: service.EngineConfig{DefaultRuns: 2000},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err := srv.Listen(); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	ctx := context.Background()
+	c := client.New("http://" + srv.Addr())
+
+	// One scenario: the paper's DTMB(2,6) proposal on a hexagonal footprint.
+	rec, err := c.Evaluate(ctx, client.Scenario{
+		Strategy: "hex", Design: "DTMB(2,6)", NPrimary: 100, P: 0.95, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hex DTMB(2,6) at p=0.95: yield %.4f (effective %.4f over %d cells)\n",
+		rec.Yield, rec.EffectiveYield, rec.NTotal)
+
+	// A whole yield-vs-p family as an asynchronous job. RunJob creates the
+	// job and streams its records in grid order, transparently resuming if
+	// the connection drops mid-stream.
+	grid := client.SweepRequest{
+		Strategies: []string{"none", "local", "hex"},
+		Designs:    []string{"DTMB(2,6)"},
+		NPrimaries: []int{100},
+		Ps:         []float64{0.90, 0.95, 0.99},
+		Seed:       7,
+	}
+	fmt.Println("\nstrategy  design      p     yield")
+	status, err := c.RunJob(ctx, grid, func(r client.SweepRecord) error {
+		fmt.Printf("%-9s %-10s %.2f  %.4f\n", r.Strategy, r.Design, r.P, r.Yield)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njob %s: %s, %d/%d points\n",
+		status.ID, status.State, status.PointsDone, status.TotalPoints)
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %d simulations run, %d jobs completed, %d points evaluated\n",
+		stats.Completed, stats.JobsCompleted, stats.PointsEvaluated)
+}

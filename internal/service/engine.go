@@ -9,6 +9,7 @@ import (
 	"dmfb/internal/core"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/sweep"
 )
 
 // EngineConfig tunes the batched simulation engine. The zero value gives
@@ -195,7 +196,51 @@ func yieldResponse(ya core.YieldAnalysis, runs int, seed int64) YieldResponse {
 	}
 }
 
-// Yield estimates one design's yield, serving repeats from the cache.
+// yieldResponseOf converts an evaluated local-strategy scenario to the v1
+// wire type; with yieldPointResult it round-trips exactly, which is what
+// keeps the v1 adapter byte-identical to the pre-scenario handlers.
+func yieldResponseOf(res sweep.PointResult) YieldResponse {
+	return YieldResponse{
+		Design:         res.Design,
+		NPrimary:       res.NPrimary,
+		NTotal:         res.NTotal,
+		P:              res.P,
+		Runs:           res.Runs,
+		Seed:           res.Seed,
+		Yield:          res.Yield,
+		CILo:           res.CILo,
+		CIHi:           res.CIHi,
+		EffectiveYield: res.EffectiveYield,
+		NoRedundancy:   res.NoRedundancy,
+		Cached:         res.Cached,
+	}
+}
+
+// yieldPointResult converts a v1 yield response to the scenario-core result
+// type the "yield" cache namespace stores (the inverse of yieldResponseOf).
+func yieldPointResult(yr YieldResponse) sweep.PointResult {
+	return sweep.PointResult{
+		Point: sweep.Point{Scenario: sweep.Scenario{
+			Strategy:    sweep.Local,
+			Design:      yr.Design,
+			NPrimary:    yr.NPrimary,
+			P:           yr.P,
+			DefectModel: sweep.Independent,
+		}},
+		NTotal:         yr.NTotal,
+		Runs:           yr.Runs,
+		Seed:           yr.Seed,
+		Yield:          yr.Yield,
+		CILo:           yr.CILo,
+		CIHi:           yr.CIHi,
+		EffectiveYield: yr.EffectiveYield,
+		NoRedundancy:   yr.NoRedundancy,
+	}
+}
+
+// Yield estimates one design's yield, serving repeats from the cache. It is
+// a thin adapter over the scenario core: a /v1/yield request is exactly the
+// local-strategy, independent-model scenario of its parameters.
 func (e *Engine) Yield(ctx context.Context, req YieldRequest) (YieldResponse, error) {
 	if err := req.validate(); err != nil {
 		return YieldResponse{}, err
@@ -208,25 +253,17 @@ func (e *Engine) Yield(ctx context.Context, req YieldRequest) (YieldResponse, er
 	if err := validateWork(sp.Runs, req.NPrimary); err != nil {
 		return YieldResponse{}, err
 	}
-	key := cacheKey{kind: "yield", design: design.Name, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}
-	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
-		// req is fully validated above; a core.New failure here is internal.
-		chip, err := core.New(design, req.NPrimary)
-		if err != nil {
-			return nil, err
-		}
-		ya, err := chip.AnalyzeYieldContext(ctx, req.P, sp)
-		if err != nil {
-			return nil, err
-		}
-		return yieldResponse(ya, sp.Runs, sp.Seed), nil
-	})
+	res, err := e.evalScenario(ctx, sweep.Scenario{
+		Strategy:    sweep.Local,
+		Design:      design.Name,
+		NPrimary:    req.NPrimary,
+		P:           req.P,
+		DefectModel: sweep.Independent,
+	}, sp)
 	if err != nil {
 		return YieldResponse{}, err
 	}
-	resp := v.(YieldResponse)
-	resp.Cached = cached
-	return resp, nil
+	return yieldResponseOf(res), nil
 }
 
 // Recommend evaluates all canonical designs and names the effective-yield
@@ -258,8 +295,9 @@ func (e *Engine) Recommend(ctx context.Context, req RecommendRequest) (Recommend
 			}
 			// Prime the per-design yield cache: drilling into one design
 			// after a recommendation is the natural next request, and the
-			// simulation parameters are identical.
-			e.cache.Add(cacheKey{kind: "yield", design: yr.Design, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}, yr)
+			// simulation parameters are identical. The namespace stores
+			// scenario-core results, so convert before seeding.
+			e.cache.Add(cacheKey{kind: "yield", design: yr.Design, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}, yieldPointResult(yr))
 		}
 		return resp, nil
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // maxBodyBytes bounds request bodies; yield requests are tiny.
@@ -13,13 +14,25 @@ const maxBodyBytes = 1 << 20
 
 // NewMux routes the API onto a fresh ServeMux:
 //
-//	POST /v1/yield       Monte-Carlo yield of one design
-//	POST /v1/recommend   effective-yield winner across all designs
-//	POST /v1/reconfigure local-reconfiguration plan for a fault list
-//	POST /v1/sweep       parameter-grid sweep, streamed as NDJSON
-//	GET  /v1/stats       cache hit rate, in-flight work, uptime
-//	GET  /healthz        liveness probe
-func NewMux(e *Engine) *http.ServeMux {
+//	POST   /v1/yield             Monte-Carlo yield of one design
+//	POST   /v1/recommend         effective-yield winner across all designs
+//	POST   /v1/reconfigure       local-reconfiguration plan for a fault list
+//	POST   /v1/sweep             parameter-grid sweep, streamed as NDJSON
+//	GET    /v1/stats             cache hit rate, in-flight work, job counters
+//	POST   /v2/evaluate          one scenario (any strategy × defect model)
+//	POST   /v2/jobs              start an asynchronous sweep job
+//	GET    /v2/jobs/{id}         job status and progress
+//	GET    /v2/jobs/{id}/results job results as NDJSON, resumable at ?cursor=N
+//	DELETE /v2/jobs/{id}         cancel a job
+//	GET    /healthz              liveness probe
+//
+// jobs may be nil, in which case a private store (bound to the process
+// lifetime, never drained) backs the job endpoints — fine for tests; servers
+// pass their own store so shutdown can drain it.
+func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
+	if jobs == nil {
+		jobs = NewJobStore(e, JobStoreConfig{})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", sweepHandler(e))
 	mux.HandleFunc("POST /v1/yield", jsonHandler(func(r *http.Request, req YieldRequest) (YieldResponse, error) {
@@ -32,12 +45,93 @@ func NewMux(e *Engine) *http.ServeMux {
 		return e.Reconfigure(r.Context(), req)
 	}))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		st := e.Stats()
+		jc := jobs.Counters()
+		st.JobsActive = jc.Active
+		st.JobsCompleted = jc.Completed
+		st.JobsCancelled = jc.Cancelled
+		st.JobsFailed = jc.Failed
+		st.PointsEvaluated = jc.PointsEvaluated
+		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("POST /v2/evaluate", jsonHandler(func(r *http.Request, req ScenarioRequest) (ScenarioRecord, error) {
+		return e.EvaluateScenario(r.Context(), req)
+	}))
+	mux.HandleFunc("POST /v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeRequest[SweepRequest](w, r)
+		if !ok {
+			return
+		}
+		job, err := jobs.Create(req)
+		if err != nil {
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Location", "/v2/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, job.Status())
+	})
+	mux.HandleFunc("GET /v2/jobs/{id}", jobHandler(jobs, func(_ *http.Request, j *Job) (JobStatus, error) {
+		return j.Status(), nil
+	}))
+	mux.HandleFunc("DELETE /v2/jobs/{id}", jobHandler(jobs, func(_ *http.Request, j *Job) (JobStatus, error) {
+		return j.Cancel(), nil
+	}))
+	mux.HandleFunc("GET /v2/jobs/{id}/results", jobResultsHandler(jobs))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// jobHandler looks up the {id} path value and maps fn's result to JSON.
+func jobHandler(jobs *JobStore, fn func(*http.Request, *Job) (JobStatus, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, err := jobs.Get(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		st, err := fn(r, j)
+		if err != nil {
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// jobResultsHandler streams a job's NDJSON result records from ?cursor=N
+// (default 0), following a still-running job until it finishes. The bytes
+// for any record range are identical across calls, so a client that lost
+// its connection mid-stream resumes at its next unread record and ends up
+// with the exact bytes of an uninterrupted stream.
+func jobResultsHandler(jobs *JobStore) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, err := jobs.Get(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		cursor := 0
+		if s := r.URL.Query().Get("cursor"); s != "" {
+			cursor, err = strconv.Atoi(s)
+			if err != nil || cursor < 0 {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid cursor %q", s)})
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		_, _ = j.StreamResults(r.Context(), cursor, func(line []byte) error {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	}
 }
 
 // errorBody is the uniform error envelope.
@@ -123,13 +217,18 @@ func sweepHandler(e *Engine) http.HandlerFunc {
 	}
 }
 
-// errStatus maps engine errors to HTTP statuses: validation → 400, caller
-// cancellation/timeout → 503, anything else → 500.
+// errStatus maps engine and job-store errors to HTTP statuses: validation →
+// 400, unknown job → 404, full job store → 429, caller cancellation/timeout
+// or shutdown → 503, anything else → 500.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrInvalidRequest):
 		return http.StatusBadRequest
-	case isContextErr(err):
+	case errors.Is(err, ErrJobNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooManyJobs):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errStoreClosed), isContextErr(err):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -11,7 +11,7 @@ import (
 
 func testMux() (*http.ServeMux, *Engine) {
 	e := NewEngine(EngineConfig{CacheSize: 16, DefaultRuns: 300})
-	return NewMux(e), e
+	return NewMux(e, nil), e
 }
 
 func doJSON(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrJobNotFound tags lookups of unknown job IDs so handlers can map them to
+// HTTP 404.
+var ErrJobNotFound = errors.New("job not found")
+
+// ErrTooManyJobs tags job creation attempts rejected because the store is
+// full of unfinished jobs; handlers map it to HTTP 429.
+var ErrTooManyJobs = errors.New("too many jobs")
+
+// errStoreClosed rejects job creation during shutdown; handlers map it to
+// HTTP 503 like any other unavailability.
+var errStoreClosed = errors.New("service: job store is shut down")
+
+// JobState names a sweep job's lifecycle phase.
+type JobState string
+
+// The four job states. Jobs start running immediately (the engine's
+// admission semaphore is what actually paces simulation work) and end in
+// exactly one of the three terminal states.
+const (
+	JobRunning   JobState = "running"
+	JobCompleted JobState = "completed"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool { return s != JobRunning }
+
+// JobStatus is the wire form of a job snapshot, returned by POST /v2/jobs,
+// GET /v2/jobs/{id}, and DELETE /v2/jobs/{id}.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// TotalPoints is the size of the job's grid; PointsDone counts emitted
+	// records, so PointsDone == TotalPoints iff the job completed.
+	TotalPoints int       `json:"total_points"`
+	PointsDone  int       `json:"points_done"`
+	CreatedAt   time.Time `json:"created_at"`
+	// FinishedAt is set once the job reaches a terminal state.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Error describes why a failed job stopped.
+	Error string `json:"error,omitempty"`
+}
+
+// JobCounters aggregates the store's lifetime accounting for /v1/stats.
+type JobCounters struct {
+	Active          int
+	Completed       uint64
+	Cancelled       uint64
+	Failed          uint64
+	PointsEvaluated uint64
+}
+
+// JobStoreConfig tunes the in-memory job store. The zero value gives
+// sensible defaults.
+type JobStoreConfig struct {
+	// MaxJobs bounds the jobs retained in memory (running and finished
+	// combined); 0 means 128. Creating a job beyond the bound evicts the
+	// oldest finished job, or fails with ErrTooManyJobs if every retained
+	// job is still running.
+	MaxJobs int
+	// MaxResultBytes bounds the encoded result lines retained by finished
+	// jobs; 0 means 64 MiB. When a finishing job pushes the total over the
+	// bound, the oldest finished jobs are evicted (running jobs never are),
+	// so a flood of cheap huge-grid jobs cannot pin unbounded heap.
+	MaxResultBytes int64
+}
+
+// JobStore owns the lifecycle of asynchronous sweep jobs: creation
+// (validated by the engine's sweep planner), execution (one goroutine per
+// job, evaluating through the engine's cache/single-flight/admission
+// layers), result buffering for cursor-resumable streaming, cancellation,
+// and shutdown draining. Results live in memory for as long as the job is
+// retained, so a client can re-read any byte range at any time.
+type JobStore struct {
+	engine   *Engine
+	maxJobs  int
+	maxBytes int64
+
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	order         []string // creation order, for bounded eviction
+	seq           int
+	closed        bool
+	finishedBytes int64 // encoded result bytes held by finished jobs
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+
+	completed atomic.Uint64
+	cancelled atomic.Uint64
+	failed    atomic.Uint64
+	points    atomic.Uint64
+}
+
+// NewJobStore builds a store executing jobs on e.
+func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 128
+	}
+	if cfg.MaxResultBytes <= 0 {
+		cfg.MaxResultBytes = 64 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &JobStore{
+		engine:    e,
+		maxJobs:   cfg.MaxJobs,
+		maxBytes:  cfg.MaxResultBytes,
+		jobs:      make(map[string]*Job),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+}
+
+// Job is one asynchronous sweep: a validated plan plus an append-only
+// buffer of encoded NDJSON result lines. Lines are encoded exactly once,
+// when the point completes, so every read of the same range returns
+// identical bytes — the property that makes interrupted streams resumable
+// without re-simulation.
+type Job struct {
+	id     string
+	store  *JobStore
+	plan   *SweepPlan
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	lines     [][]byte
+	bytes     int64 // total encoded bytes in lines
+	accounted bool  // bytes added to the store's finishedBytes
+	state     JobState
+	errMsg    string
+	created   time.Time
+	finished  time.Time
+	update    chan struct{} // closed and replaced on every append/transition
+}
+
+// Create validates req through the engine's sweep planner, registers a new
+// job, and starts evaluating it in the background. Validation failures
+// surface as ErrInvalidRequest exactly like a synchronous /v1/sweep.
+func (s *JobStore) Create(req SweepRequest) (*Job, error) {
+	plan, err := s.engine.PlanSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errStoreClosed
+	}
+	if err := s.evictLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		store:   s,
+		plan:    plan,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   JobRunning,
+		created: time.Now(),
+		update:  make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go j.run(ctx)
+	return j, nil
+}
+
+// evictLocked makes room for one more job, dropping the oldest finished job
+// when the store is at capacity. Requires s.mu.
+func (s *JobStore) evictLocked() error {
+	if len(s.jobs) < s.maxJobs {
+		return nil
+	}
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		finished := j.state.terminal()
+		j.mu.Unlock()
+		if finished {
+			s.removeLocked(i, id, j)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d jobs running, retention cap %d", ErrTooManyJobs, len(s.jobs), s.maxJobs)
+}
+
+// removeLocked drops a terminal job from the store's bookkeeping. Requires
+// s.mu; takes j.mu briefly for the byte accounting.
+func (s *JobStore) removeLocked(i int, id string, j *Job) {
+	delete(s.jobs, id)
+	s.order = append(s.order[:i], s.order[i+1:]...)
+	j.mu.Lock()
+	if j.accounted {
+		s.finishedBytes -= j.bytes
+	}
+	j.mu.Unlock()
+}
+
+// noteFinished moves a just-terminal job's buffer into the finished-bytes
+// account and evicts the oldest finished jobs (never j itself, never a
+// running job) while the account exceeds the store's byte bound.
+func (s *JobStore) noteFinished(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The job may have been evicted by a concurrent Create between turning
+	// terminal and reaching here; only account for retained jobs.
+	if _, ok := s.jobs[j.id]; ok {
+		j.mu.Lock()
+		s.finishedBytes += j.bytes
+		j.accounted = true
+		j.mu.Unlock()
+	}
+	for s.finishedBytes > s.maxBytes {
+		evicted := false
+		for i, id := range s.order {
+			other := s.jobs[id]
+			if other == nil || other == j {
+				continue
+			}
+			other.mu.Lock()
+			terminal := other.state.terminal()
+			other.mu.Unlock()
+			if terminal {
+				s.removeLocked(i, id, other)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // only j and running jobs remain; the bound is best-effort
+		}
+	}
+}
+
+// Get returns the job with the given ID.
+func (s *JobStore) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+// Counters snapshots the store's job accounting.
+func (s *JobStore) Counters() JobCounters {
+	s.mu.Lock()
+	active := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if !j.state.terminal() {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return JobCounters{
+		Active:          active,
+		Completed:       s.completed.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Failed:          s.failed.Load(),
+		PointsEvaluated: s.points.Load(),
+	}
+}
+
+// Close cancels every running job and waits for all job goroutines to exit
+// (or ctx to expire). After Close, Create fails; finished results remain
+// readable until the process exits.
+func (s *JobStore) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: job drain: %w", ctx.Err())
+	}
+}
+
+// run executes the job's sweep, appending one encoded NDJSON line per
+// completed point, and records the terminal state.
+func (j *Job) run(ctx context.Context) {
+	defer j.store.wg.Done()
+	err := j.store.engine.RunSweep(ctx, j.plan, func(rec SweepRecord) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		j.mu.Lock()
+		j.lines = append(j.lines, line)
+		j.bytes += int64(len(line))
+		j.bumpLocked()
+		j.mu.Unlock()
+		j.store.points.Add(1)
+		return nil
+	})
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobCompleted
+		j.store.completed.Add(1)
+	case ctx.Err() != nil:
+		j.state = JobCancelled
+		j.store.cancelled.Add(1)
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		j.store.failed.Add(1)
+	}
+	j.finished = time.Now()
+	j.bumpLocked()
+	close(j.done)
+	j.mu.Unlock()
+	j.store.noteFinished(j)
+}
+
+// bumpLocked wakes every stream waiting for more lines or a state change.
+// Requires j.mu.
+func (j *Job) bumpLocked() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		TotalPoints: j.plan.NumPoints(),
+		PointsDone:  len(j.lines),
+		CreatedAt:   j.created,
+		Error:       j.errMsg,
+	}
+	if j.state.terminal() {
+		fin := j.finished
+		st.FinishedAt = &fin
+	}
+	return st
+}
+
+// Cancel stops the job and waits for its goroutine to finish, so the
+// returned status is already terminal. Cancelling a finished job is a no-op.
+func (j *Job) Cancel() JobStatus {
+	j.cancel()
+	<-j.done
+	return j.Status()
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (j *Job) Wait(ctx context.Context) (JobStatus, error) {
+	select {
+	case <-j.done:
+		return j.Status(), nil
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// StreamResults writes the job's NDJSON result lines to write, starting at
+// the cursor-th record, following the live job until it reaches a terminal
+// state, and returning the next cursor. Because every line was encoded
+// exactly once at evaluation time, the bytes written for records
+// [cursor, end) are identical across calls — an interrupted stream resumed
+// at its next unread record concatenates to the exact bytes of an
+// uninterrupted stream. A failed or cancelled job's stream ends with a
+// trailing {"error": ...} line after its last record, mirroring the
+// mid-stream error contract of POST /v1/sweep.
+//
+// write is called outside the job's lock but from a single goroutine; its
+// error aborts the stream (e.g. the client disconnected). ctx cancellation
+// stops a follow of a still-running job.
+func (j *Job) StreamResults(ctx context.Context, cursor int, write func([]byte) error) (next int, err error) {
+	if cursor < 0 {
+		return cursor, invalidf("cursor must be non-negative, got %d", cursor)
+	}
+	for {
+		j.mu.Lock()
+		lines := j.lines // append-only: the prefix [0, len) is immutable
+		state := j.state
+		errMsg := j.errMsg
+		update := j.update
+		j.mu.Unlock()
+
+		for cursor < len(lines) {
+			if err := write(lines[cursor]); err != nil {
+				return cursor, err
+			}
+			cursor++
+		}
+		if state.terminal() {
+			switch state {
+			case JobFailed:
+				line, _ := json.Marshal(SweepError{Error: errMsg})
+				return cursor, write(append(line, '\n'))
+			case JobCancelled:
+				line, _ := json.Marshal(SweepError{Error: "sweep job cancelled"})
+				return cursor, write(append(line, '\n'))
+			}
+			return cursor, nil
+		}
+		select {
+		case <-update:
+		case <-ctx.Done():
+			return cursor, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// jobSweepBody is a small but heterogeneous grid: every strategy and both
+// defect models, 16 points total.
+const jobSweepBody = `{"strategies":["none","local","shifted","hex"],"designs":["DTMB(2,6)"],` +
+	`"n_primaries":[40],"ps":[0.9,0.95],"spare_rows":[1],` +
+	`"defect_models":["independent","clustered"],"cluster_size":4,"runs":150,"seed":11}`
+
+// slowJobBody is a grid expensive enough to still be running when the test
+// cancels it.
+const slowJobBody = `{"strategies":["local","hex"],"designs":["DTMB(4,4)"],` +
+	`"n_primaries":[100],"p_min":0.90,"p_max":0.99,"p_points":16,` +
+	`"defect_models":["independent","clustered"],"runs":200000,"seed":3}`
+
+func testJobMux(t *testing.T, cfg EngineConfig, jcfg JobStoreConfig) (*http.ServeMux, *JobStore) {
+	t.Helper()
+	e := NewEngine(cfg)
+	jobs := NewJobStore(e, jcfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := jobs.Close(ctx); err != nil {
+			t.Errorf("job store close: %v", err)
+		}
+	})
+	return NewMux(e, jobs), jobs
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	mux, jobs := testJobMux(t, EngineConfig{DefaultRuns: 150, CacheSize: 64}, JobStoreConfig{})
+
+	w := doJSON(t, mux, http.MethodPost, "/v2/jobs", jobSweepBody)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("create status = %d, body %s", w.Code, w.Body.String())
+	}
+	if loc := w.Header().Get("Location"); !strings.HasPrefix(loc, "/v2/jobs/") {
+		t.Errorf("Location = %q", loc)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.TotalPoints != 16 {
+		t.Fatalf("create status %+v", st)
+	}
+
+	j, err := jobs.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	final, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobCompleted || final.PointsDone != 16 || final.FinishedAt == nil {
+		t.Fatalf("final status %+v", final)
+	}
+
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+st.ID, "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"state":"completed"`) {
+		t.Fatalf("status endpoint: %d %s", w.Code, w.Body.String())
+	}
+
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+st.ID+"/results", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("results status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results Content-Type = %q", ct)
+	}
+	full := w.Body.Bytes()
+	lines := bytes.Split(bytes.TrimSuffix(full, []byte("\n")), []byte("\n"))
+	if len(lines) != 16 {
+		t.Fatalf("results has %d lines, want 16", len(lines))
+	}
+	for i, line := range lines {
+		var rec SweepRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Index != i {
+			t.Errorf("line %d has index %d", i, rec.Index)
+		}
+	}
+
+	// A cursor-suffixed read returns exactly the tail of the full stream.
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+st.ID+"/results?cursor=9", "")
+	wantTail := bytes.Join(lines[9:], []byte("\n"))
+	if got := bytes.TrimSuffix(w.Body.Bytes(), []byte("\n")); !bytes.Equal(got, wantTail) {
+		t.Errorf("cursor=9 tail mismatch:\n got %s\nwant %s", got, wantTail)
+	}
+	// A cursor at the end returns an empty, clean stream.
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+st.ID+"/results?cursor=16", "")
+	if w.Code != http.StatusOK || w.Body.Len() != 0 {
+		t.Errorf("cursor=16: status %d, %d bytes", w.Code, w.Body.Len())
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v2/jobs/job-999", http.StatusNotFound},
+		{"/v2/jobs/job-999/results", http.StatusNotFound},
+		{"/v2/jobs/" + st.ID + "/results?cursor=-1", http.StatusBadRequest},
+		{"/v2/jobs/" + st.ID + "/results?cursor=x", http.StatusBadRequest},
+	} {
+		if w := doJSON(t, mux, http.MethodGet, tc.path, ""); w.Code != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.path, w.Code, tc.want)
+		}
+	}
+}
+
+func TestJobCancellationAndCounters(t *testing.T) {
+	mux, _ := testJobMux(t, EngineConfig{DefaultRuns: 150, CacheSize: 64, MaxConcurrent: 1}, JobStoreConfig{})
+
+	// Run one small job to completion for the completed/points counters.
+	w := doJSON(t, mux, http.MethodPost, "/v2/jobs", jobSweepBody)
+	var done JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &done); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming the results follows the job to its end.
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+done.ID+"/results", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("results: %d", w.Code)
+	}
+
+	// Start a slow job and cancel it mid-flight.
+	w = doJSON(t, mux, http.MethodPost, "/v2/jobs", slowJobBody)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("slow create: %d %s", w.Code, w.Body.String())
+	}
+	var slow JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &slow); err != nil {
+		t.Fatal(err)
+	}
+	w = doJSON(t, mux, http.MethodDelete, "/v2/jobs/"+slow.ID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", w.Code, w.Body.String())
+	}
+	var cancelled JobStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &cancelled); err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.State != JobCancelled {
+		t.Fatalf("state after DELETE = %q", cancelled.State)
+	}
+	// Its results stream ends with the cancellation error record.
+	w = doJSON(t, mux, http.MethodGet, "/v2/jobs/"+slow.ID+"/results", "")
+	if !strings.Contains(w.Body.String(), `"error":"sweep job cancelled"`) {
+		t.Errorf("cancelled results missing trailing error: %s", w.Body.String())
+	}
+
+	var st StatsResponse
+	w = doJSON(t, mux, http.MethodGet, "/v1/stats", "")
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsCompleted != 1 || st.JobsCancelled != 1 || st.JobsActive != 0 {
+		t.Errorf("job counters %+v", st)
+	}
+	if st.PointsEvaluated < 16 {
+		t.Errorf("points_evaluated = %d, want >= 16", st.PointsEvaluated)
+	}
+}
+
+func TestJobStoreCapacityAndEviction(t *testing.T) {
+	e := NewEngine(EngineConfig{DefaultRuns: 150, MaxConcurrent: 1})
+	jobs := NewJobStore(e, JobStoreConfig{MaxJobs: 1})
+	defer jobs.Close(context.Background())
+
+	var slowReq SweepRequest
+	if err := json.Unmarshal([]byte(slowJobBody), &slowReq); err != nil {
+		t.Fatal(err)
+	}
+	running, err := jobs.Create(slowReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The store is full of running jobs: creation must fail with
+	// ErrTooManyJobs, not evict live work.
+	if _, err := jobs.Create(slowReq); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("create on full store: %v", err)
+	}
+	running.Cancel()
+	// A finished job is evictable; creation now succeeds and the old job is
+	// gone.
+	replacement, err := jobs.Create(slowReq)
+	if err != nil {
+		t.Fatalf("create after cancel: %v", err)
+	}
+	if _, err := jobs.Get(running.ID()); !errors.Is(err, ErrJobNotFound) {
+		t.Errorf("evicted job still retrievable: %v", err)
+	}
+	replacement.Cancel()
+}
+
+// TestJobStoreByteBoundEvictsOldestFinished pins the memory bound: finished
+// jobs whose combined encoded results exceed MaxResultBytes are evicted
+// oldest-first as newer jobs finish, so cheap huge-grid jobs cannot pin
+// unbounded heap.
+func TestJobStoreByteBoundEvictsOldestFinished(t *testing.T) {
+	e := NewEngine(EngineConfig{DefaultRuns: 100})
+	// Each closed-form job below buffers ~2 KB; a 5 KB bound retains at
+	// most two finished jobs' results.
+	jobs := NewJobStore(e, JobStoreConfig{MaxResultBytes: 5 << 10})
+	defer jobs.Close(context.Background())
+
+	req := SweepRequest{Strategies: []string{"none"}, NPrimaries: []int{100}, PPoints: 11, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := jobs.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	if _, err := jobs.Get(ids[0]); !errors.Is(err, ErrJobNotFound) {
+		t.Errorf("oldest finished job survived the byte bound: %v", err)
+	}
+	if _, err := jobs.Get(ids[len(ids)-1]); err != nil {
+		t.Errorf("newest job evicted: %v", err)
+	}
+	jobs.mu.Lock()
+	held := jobs.finishedBytes
+	jobs.mu.Unlock()
+	if held > 5<<10 {
+		t.Errorf("finishedBytes %d exceeds the 5 KiB bound", held)
+	}
+}
+
+// TestJobResumeByteIdentityAcrossWorkers is the acceptance property of the
+// resumable stream: a results stream interrupted at any cursor and resumed
+// concatenates to the exact bytes of an uninterrupted stream, and those
+// bytes are identical across worker counts and admission widths.
+func TestJobResumeByteIdentityAcrossWorkers(t *testing.T) {
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(jobSweepBody), &req); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var fullRef []byte
+	for _, cfg := range []EngineConfig{
+		{DefaultRuns: 150, Workers: 1, MaxConcurrent: 1},
+		{DefaultRuns: 150, Workers: 4, MaxConcurrent: 4},
+	} {
+		jobs := NewJobStore(NewEngine(cfg), JobStoreConfig{})
+		j, err := jobs.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var full bytes.Buffer
+		end, err := j.StreamResults(ctx, 0, func(line []byte) error {
+			full.Write(line)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullRef == nil {
+			fullRef = append([]byte(nil), full.Bytes()...)
+		} else if !bytes.Equal(fullRef, full.Bytes()) {
+			t.Fatalf("stream bytes differ across engine config %+v", cfg)
+		}
+
+		errDrop := errors.New("connection dropped")
+		for k := 0; k <= end; k++ {
+			var got bytes.Buffer
+			wrote := 0
+			// Interrupt: the "connection" dies after k records.
+			cursor, err := j.StreamResults(ctx, 0, func(line []byte) error {
+				if wrote == k {
+					return errDrop
+				}
+				wrote++
+				got.Write(line)
+				return nil
+			})
+			if k < end && !errors.Is(err, errDrop) {
+				t.Fatalf("k=%d: interrupt not surfaced: %v", k, err)
+			}
+			if cursor != k {
+				t.Fatalf("k=%d: cursor after interrupt = %d", k, cursor)
+			}
+			// Resume at the reported cursor and drain to the end.
+			if _, err := j.StreamResults(ctx, cursor, func(line []byte) error {
+				got.Write(line)
+				return nil
+			}); err != nil {
+				t.Fatalf("k=%d: resume: %v", k, err)
+			}
+			if !bytes.Equal(got.Bytes(), fullRef) {
+				t.Fatalf("k=%d: interrupted+resumed bytes differ from uninterrupted stream", k)
+			}
+		}
+		if err := jobs.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -86,7 +86,7 @@ func TestSweepByteIdenticalAcrossWorkersAndGOMAXPROCS(t *testing.T) {
 		prev := runtime.GOMAXPROCS(gomaxprocs)
 		defer runtime.GOMAXPROCS(prev)
 		e := NewEngine(EngineConfig{Workers: workers, MaxConcurrent: maxConcurrent})
-		mux := NewMux(e)
+		mux := NewMux(e, nil)
 		w := doJSON(t, mux, http.MethodPost, "/v1/sweep", modelSweepBody)
 		if w.Code != http.StatusOK {
 			t.Fatalf("status %d: %s", w.Code, w.Body.String())

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"mime"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,14 +17,19 @@ type ServerConfig struct {
 	Addr string
 	// Engine tunes the simulation engine behind the handlers.
 	Engine EngineConfig
-	// Logger receives lifecycle messages; nil means the standard logger.
+	// Jobs tunes the asynchronous sweep-job store.
+	Jobs JobStoreConfig
+	// Logger receives lifecycle messages and the per-request access log;
+	// nil means the standard logger.
 	Logger *log.Logger
 }
 
-// Server is the dtmb-serve HTTP server: handlers over one Engine, with
-// graceful shutdown that drains in-flight simulations.
+// Server is the dtmb-serve HTTP server: handlers over one Engine and one
+// JobStore, with graceful shutdown that drains in-flight simulations and
+// cancels running jobs without leaking their goroutines.
 type Server struct {
 	engine *Engine
+	jobs   *JobStore
 	http   *http.Server
 	ln     net.Listener
 	logger *log.Logger
@@ -38,19 +45,36 @@ func NewServer(cfg ServerConfig) *Server {
 		logger = log.Default()
 	}
 	engine := NewEngine(cfg.Engine)
+	jobs := NewJobStore(engine, cfg.Jobs)
 	return &Server{
 		engine: engine,
+		jobs:   jobs,
 		logger: logger,
 		http: &http.Server{
 			Addr:              cfg.Addr,
-			Handler:           NewMux(engine),
+			Handler:           NewHandler(engine, jobs, logger),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}
 }
 
+// NewHandler assembles the full serving stack: the v1+v2 mux wrapped in the
+// server middleware (request-ID echo, POST content-type enforcement, and a
+// structured access log line per request). Tests that need the exact
+// production behavior — 415s, X-Request-ID headers — use this instead of the
+// bare NewMux.
+func NewHandler(e *Engine, jobs *JobStore, logger *log.Logger) http.Handler {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return withMiddleware(NewMux(e, jobs), logger)
+}
+
 // Engine exposes the underlying engine (for stats and tests).
 func (s *Server) Engine() *Engine { return s.engine }
+
+// Jobs exposes the server's job store (for stats and tests).
+func (s *Server) Jobs() *JobStore { return s.jobs }
 
 // Listen binds the address; Addr is then available for clients.
 func (s *Server) Listen() error {
@@ -86,7 +110,7 @@ func (s *Server) Serve() error {
 }
 
 // Run serves until ctx is cancelled, then shuts down gracefully within
-// grace, draining in-flight requests.
+// grace, draining in-flight requests and running jobs.
 func (s *Server) Run(ctx context.Context, grace time.Duration) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.Serve() }()
@@ -98,13 +122,120 @@ func (s *Server) Run(ctx context.Context, grace time.Duration) error {
 	s.logger.Printf("dtmb-serve shutting down (grace %s)", grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
-	if err := s.http.Shutdown(shutdownCtx); err != nil {
+	if err := s.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("service: shutdown: %w", err)
 	}
 	return <-errCh
 }
 
-// Shutdown stops the server, waiting for in-flight requests up to ctx.
+// Shutdown stops the server: running jobs are cancelled first (which also
+// unblocks any handler following a job's result stream), their goroutines
+// joined, then in-flight requests are drained, all within ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.http.Shutdown(ctx)
+	jobsErr := s.jobs.Close(ctx)
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return jobsErr
+}
+
+// requestSeq numbers generated request IDs process-wide.
+var requestSeq atomic.Uint64
+
+// statusWriter captures the response status and size for the access log
+// while passing Flush through to the underlying writer, so NDJSON streams
+// keep flushing per record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// Flush forwards to the wrapped writer (http.ResponseController also finds
+// it via Unwrap).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withMiddleware wraps next with the server-level cross-cutting concerns:
+//
+//   - X-Request-ID: an incoming ID is echoed on the response (and into the
+//     access log); absent one, the server assigns req-<n>.
+//   - Content-Type enforcement: every POST must declare application/json
+//     (with optional parameters, e.g. a charset) or is rejected with 415
+//     before its body is read.
+//   - Access log: one structured line per request on logger.
+func withMiddleware(next http.Handler, logger *log.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = fmt.Sprintf("req-%d", requestSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		if r.Method == http.MethodPost {
+			ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+			if err != nil || ct != "application/json" {
+				writeJSON(sw, http.StatusUnsupportedMediaType,
+					errorBody{Error: "Content-Type must be application/json"})
+				logAccess(logger, r, sw, id, start)
+				return
+			}
+		}
+		next.ServeHTTP(sw, r)
+		logAccess(logger, r, sw, id, start)
+	})
+}
+
+// sanitizeRequestID accepts a client-supplied request ID only when it is a
+// single loggable token: printable ASCII with no spaces, quotes, or '='
+// (which could forge key=value fields in the access log), at most 128
+// bytes. Anything else is treated as absent and replaced by a generated ID.
+func sanitizeRequestID(id string) string {
+	if len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '=' {
+			return ""
+		}
+	}
+	return id
+}
+
+// logAccess emits the structured access log line for one finished request.
+func logAccess(logger *log.Logger, r *http.Request, sw *statusWriter, id string, start time.Time) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	// The path is client-controlled and may contain percent-decoded
+	// newlines or spaces; %q keeps it one forgery-proof token, like the
+	// sanitized request ID.
+	logger.Printf("http_access method=%s path=%q status=%d bytes=%d duration_ms=%.3f request_id=%s remote=%s",
+		r.Method, r.URL.Path, status, sw.bytes,
+		float64(time.Since(start).Microseconds())/1000, id, r.RemoteAddr)
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"dmfb/internal/core"
-	"dmfb/internal/sqgrid"
 	"dmfb/internal/sweep"
 )
 
@@ -141,16 +140,9 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 	sp := e.simParams(req.Runs, req.Seed)
 	var totalWork int64
 	for _, pt := range pts {
-		cells := 0
-		switch pt.Strategy {
-		case sweep.Local, sweep.Hex:
-			cells = pt.NPrimary
-		case sweep.Shifted:
-			pl, err := sqgrid.PlacementWithPrimaryTarget(pt.NPrimary, pt.SpareRows)
-			if err != nil {
-				return nil, invalidf("%v", err)
-			}
-			cells = pl.Grid.NumCells()
+		cells, err := scenarioCells(pt.Scenario)
+		if err != nil {
+			return nil, invalidf("%v", err)
 		}
 		if cells == 0 {
 			continue // closed-form point, no simulation
@@ -187,102 +179,21 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest, emit func(SweepRec
 	return e.RunSweep(ctx, plan, emit)
 }
 
-// sweepEval routes a grid point to its cached evaluation path.
+// sweepEval adapts the engine's scenario core to the sweep runner: every
+// grid point is evaluated exactly like a /v2/evaluate of its scenario, then
+// stamped with its grid index.
 func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
 	return func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
-		switch {
-		case pt.Strategy == sweep.Local && pt.DefectModel != sweep.Clustered:
-			// Share the /v1/yield cache namespace: identical (design, n, p,
-			// runs, seed) means an identical result either way.
-			resp, err := e.Yield(ctx, YieldRequest{
-				Design:   pt.Design,
-				NPrimary: pt.NPrimary,
-				P:        pt.P,
-				Runs:     sp.Runs,
-				Seed:     sp.Seed,
-			})
-			if err != nil {
-				return sweep.PointResult{}, err
-			}
-			return sweep.PointResult{
-				Point:          pt,
-				NTotal:         resp.NTotal,
-				Runs:           resp.Runs,
-				Seed:           resp.Seed,
-				Yield:          resp.Yield,
-				CILo:           resp.CILo,
-				CIHi:           resp.CIHi,
-				EffectiveYield: resp.EffectiveYield,
-				NoRedundancy:   resp.NoRedundancy,
-				Cached:         resp.Cached,
-			}, nil
-		case pt.Strategy == sweep.Local: // clustered model, own cache kind
-			return e.cachedPoint(ctx, "local-clustered", pt, sp)
-		case pt.Strategy == sweep.Hex:
-			return e.cachedPoint(ctx, "hex", pt, sp)
-		case pt.Strategy == sweep.Shifted:
-			return e.cachedPoint(ctx, "shifted", pt, sp)
-		default:
-			// Closed form: too cheap to cache or bound.
-			return sweep.Evaluate(ctx, pt, sp)
-		}
-	}
-}
-
-// cachedPoint evaluates a Monte-Carlo grid point through the result cache,
-// single-flight layer, and admission semaphore, keyed by the point's full
-// coordinates (strategy kind, design, n, spare rows, p, defect model,
-// cluster size) plus the simulation parameters.
-func (e *Engine) cachedPoint(ctx context.Context, kind string, pt sweep.Point, sp core.SimParams) (sweep.PointResult, error) {
-	key := cacheKey{
-		kind:        kind,
-		design:      pt.Design,
-		nPrimary:    pt.NPrimary,
-		p:           pt.P,
-		runs:        sp.Runs,
-		seed:        sp.Seed,
-		spare:       pt.SpareRows,
-		model:       string(pt.DefectModel),
-		clusterSize: pt.ClusterSize,
-	}
-	v, cached, err := e.cachedCompute(ctx, key, func() (any, error) {
-		res, err := sweep.Evaluate(ctx, pt, sp)
+		res, err := e.evalScenario(ctx, pt.Scenario, sp)
 		if err != nil {
-			return nil, err
+			return sweep.PointResult{}, err
 		}
-		// The same scenario appears at different indices in different
-		// sweeps; cache it index-free.
-		res.Index = 0
+		res.Index = pt.Index
 		return res, nil
-	})
-	if err != nil {
-		return sweep.PointResult{}, err
 	}
-	res := v.(sweep.PointResult)
-	res.Index = pt.Index
-	res.Cached = cached
-	return res, nil
 }
 
 // sweepRecord converts a point result to the wire type.
 func sweepRecord(r sweep.PointResult) SweepRecord {
-	return SweepRecord{
-		Index:          r.Index,
-		Strategy:       string(r.Strategy),
-		Design:         r.Design,
-		NPrimary:       r.NPrimary,
-		SpareRows:      r.SpareRows,
-		DefectModel:    string(r.DefectModel),
-		ClusterSize:    r.ClusterSize,
-		NTotal:         r.NTotal,
-		P:              r.P,
-		Runs:           r.Runs,
-		Seed:           r.Seed,
-		Yield:          r.Yield,
-		CILo:           r.CILo,
-		CIHi:           r.CIHi,
-		EffectiveYield: r.EffectiveYield,
-		NoRedundancy:   r.NoRedundancy,
-		Cached:         r.Cached,
-	}
+	return SweepRecord{Index: r.Index, ScenarioRecord: scenarioRecord(r)}
 }

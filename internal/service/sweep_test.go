@@ -64,7 +64,7 @@ func TestSweepHandlerStreamsOrderedNDJSON(t *testing.T) {
 func TestSweepByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	run := func(workers, maxConcurrent int) string {
 		e := NewEngine(EngineConfig{Workers: workers, MaxConcurrent: maxConcurrent})
-		mux := NewMux(e)
+		mux := NewMux(e, nil)
 		w := doJSON(t, mux, http.MethodPost, "/v1/sweep", sweepBody)
 		if w.Code != http.StatusOK {
 			t.Fatalf("status %d: %s", w.Code, w.Body.String())

@@ -254,33 +254,13 @@ type SweepRequest struct {
 }
 
 // SweepRecord is one NDJSON line of a sweep response: the grid point's
-// coordinates followed by its yield analysis. Records arrive in
-// deterministic point order (index ascending), so a sweep's byte stream is
-// a pure function of the request for a fresh cache.
+// index followed by its evaluated scenario. Records arrive in deterministic
+// point order (index ascending), so a sweep's byte stream is a pure
+// function of the request for a fresh cache. The embedded ScenarioRecord
+// inlines on the wire, keeping the v1 field order intact.
 type SweepRecord struct {
-	Index    int    `json:"index"`
-	Strategy string `json:"strategy"`
-	// Design is set for local- and hex-strategy points, e.g. "DTMB(2,6)".
-	Design   string `json:"design,omitempty"`
-	NPrimary int    `json:"n_primary"`
-	// SpareRows is set for shifted-strategy points.
-	SpareRows int `json:"spare_rows,omitempty"`
-	// DefectModel is the point's spatial defect model ("independent" or
-	// "clustered").
-	DefectModel string `json:"defect_model"`
-	// ClusterSize is set for clustered-model points.
-	ClusterSize float64 `json:"cluster_size,omitempty"`
-	NTotal      int     `json:"n_total"`
-	P           float64 `json:"p"`
-	// Runs is 0 for closed-form (none-strategy) points.
-	Runs           int     `json:"runs"`
-	Seed           int64   `json:"seed"`
-	Yield          float64 `json:"yield"`
-	CILo           float64 `json:"ci_lo"`
-	CIHi           float64 `json:"ci_hi"`
-	EffectiveYield float64 `json:"effective_yield"`
-	NoRedundancy   float64 `json:"no_redundancy"`
-	Cached         bool    `json:"cached,omitempty"`
+	Index int `json:"index"`
+	ScenarioRecord
 }
 
 // SweepError is the trailing NDJSON record of a sweep that failed after
@@ -306,4 +286,12 @@ type StatsResponse struct {
 	// Completed counts simulations actually executed (cache misses that ran).
 	Completed     uint64  `json:"completed"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// JobsActive counts /v2 sweep jobs currently running; the remaining job
+	// counters accumulate over the server's lifetime.
+	JobsActive    int    `json:"jobs_active"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsCancelled uint64 `json:"jobs_cancelled"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	// PointsEvaluated counts grid points emitted by jobs (cached or not).
+	PointsEvaluated uint64 `json:"points_evaluated"`
 }

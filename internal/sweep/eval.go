@@ -49,6 +49,22 @@ func (r PointResult) YieldResult() yieldsim.Result {
 // control — through the same core/yieldsim code path the service engine
 // uses, so both produce identical numbers for identical (point, params).
 func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, error) {
+	res, err := EvaluateScenario(ctx, pt.Scenario, sp)
+	if err != nil {
+		return PointResult{}, err
+	}
+	res.Index = pt.Index
+	return res, nil
+}
+
+// EvaluateScenario is the yieldsim dispatch at the heart of every
+// evaluation path: it routes one Scenario to its closed form or Monte-Carlo
+// kernel (interstitial, hexagonal-footprint, or shifted-replacement, under
+// either defect model) and assembles the resulting yield analysis. The
+// sweep runner, the service engine (with its cache in front), and the v2
+// evaluate endpoint all funnel through this one switch.
+func EvaluateScenario(ctx context.Context, sc Scenario, sp core.SimParams) (PointResult, error) {
+	pt := Point{Scenario: sc}
 	switch pt.Strategy {
 	case None:
 		y := yieldsim.NoRedundancy(pt.P, pt.NPrimary)

@@ -81,7 +81,7 @@ func TestSpecValidationModelAxes(t *testing.T) {
 
 func TestEvaluateHexPoint(t *testing.T) {
 	sp := core.SimParams{Runs: 300, Seed: 5}
-	pt := Point{Strategy: Hex, Design: "DTMB(2,6)", NPrimary: 40, P: 0.95, DefectModel: Independent}
+	pt := Point{Scenario: Scenario{Strategy: Hex, Design: "DTMB(2,6)", NPrimary: 40, P: 0.95, DefectModel: Independent}}
 	res, err := Evaluate(context.Background(), pt, sp)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestEvaluateHexPoint(t *testing.T) {
 }
 
 func TestEvaluateClusteredNoneClosedForm(t *testing.T) {
-	pt := Point{Strategy: None, NPrimary: 40, P: 0.95, DefectModel: Clustered, ClusterSize: 4}
+	pt := Point{Scenario: Scenario{Strategy: None, NPrimary: 40, P: 0.95, DefectModel: Clustered, ClusterSize: 4}}
 	res, err := Evaluate(context.Background(), pt, core.SimParams{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +126,8 @@ func TestEvaluateClusteredNoneClosedForm(t *testing.T) {
 func TestEvaluateClusteredLocalAndShifted(t *testing.T) {
 	sp := core.SimParams{Runs: 300, Seed: 2}
 	for _, pt := range []Point{
-		{Strategy: Local, Design: "DTMB(3,6)", NPrimary: 40, P: 0.94, DefectModel: Clustered, ClusterSize: 4},
-		{Strategy: Shifted, SpareRows: 1, NPrimary: 40, P: 0.94, DefectModel: Clustered, ClusterSize: 4},
+		{Scenario: Scenario{Strategy: Local, Design: "DTMB(3,6)", NPrimary: 40, P: 0.94, DefectModel: Clustered, ClusterSize: 4}},
+		{Scenario: Scenario{Strategy: Shifted, SpareRows: 1, NPrimary: 40, P: 0.94, DefectModel: Clustered, ClusterSize: 4}},
 	} {
 		res, err := Evaluate(context.Background(), pt, sp)
 		if err != nil {
@@ -147,11 +147,11 @@ func TestEvaluateClusteredLocalAndShifted(t *testing.T) {
 }
 
 func TestPointModel(t *testing.T) {
-	m := Point{DefectModel: Clustered, ClusterSize: 3}.Model()
+	m := Point{Scenario: Scenario{DefectModel: Clustered, ClusterSize: 3}}.Model()
 	if !m.Clustered || m.ClusterSize != 3 {
 		t.Errorf("Model() = %+v", m)
 	}
-	if (Point{DefectModel: Independent}).Model().Clustered {
+	if (Point{Scenario: Scenario{DefectModel: Independent}}).Model().Clustered {
 		t.Error("independent point maps to clustered model")
 	}
 }

@@ -234,11 +234,13 @@ func (s Spec) NumPoints() int {
 	return total * len(s.DefectModels)
 }
 
-// Point is one scenario of a sweep grid: a redundancy strategy with its
-// strategy-specific axis value, an array size, and a survival probability.
-type Point struct {
-	// Index is the point's position in the sweep's deterministic order.
-	Index int
+// Scenario is one fully specified yield scenario — a redundancy strategy
+// with its strategy-specific axis value, an array size, a survival
+// probability, and a spatial defect model. It is the single currency the
+// sweep engine, the yieldsim dispatch (EvaluateScenario), the HTTP service,
+// and the CLIs exchange: a sweep grid is an ordered list of Scenarios, and a
+// single /v2/evaluate request is exactly one.
+type Scenario struct {
 	// Strategy selects the redundancy/reconfiguration scheme.
 	Strategy Strategy
 	// Design is the DTMB design name (Local and Hex strategies; "" otherwise).
@@ -249,16 +251,105 @@ type Point struct {
 	SpareRows int
 	// P is the cell survival probability.
 	P float64
-	// DefectModel selects the spatial defect model of the point.
+	// DefectModel selects the spatial defect model of the scenario.
 	DefectModel DefectModel
 	// ClusterSize is the expected faulty cells per cluster (Clustered model
 	// only; 0 otherwise).
 	ClusterSize float64
 }
 
-// Model converts the point's defect-model axes to the defects package type.
-func (pt Point) Model() defects.Model {
-	return defects.Model{Clustered: pt.DefectModel == Clustered, ClusterSize: pt.ClusterSize}
+// Normalize fills the scenario defaults (defect model, cluster size) and
+// clears fields the strategy and model do not use, so equal scenarios have
+// equal canonical forms regardless of how callers populated the inapplicable
+// axes.
+func (sc Scenario) Normalize() Scenario {
+	if sc.DefectModel == "" {
+		sc.DefectModel = Independent
+	}
+	if sc.DefectModel == Clustered {
+		if sc.ClusterSize == 0 {
+			sc.ClusterSize = DefaultClusterSize
+		}
+	} else {
+		sc.ClusterSize = 0
+	}
+	switch sc.Strategy {
+	case Local, Hex:
+		sc.SpareRows = 0
+	case Shifted:
+		sc.Design = ""
+		if sc.SpareRows == 0 {
+			sc.SpareRows = 1
+		}
+	default:
+		sc.Design = ""
+		sc.SpareRows = 0
+	}
+	return sc
+}
+
+// Validate checks a single (normalized or raw) scenario: known strategy and
+// defect model, the strategy-specific axis present exactly when applicable,
+// and the numeric fields in range. Design existence is checked at
+// evaluation, where the name is resolved.
+func (sc Scenario) Validate() error {
+	if !sc.Strategy.valid() {
+		return fmt.Errorf("sweep: unknown strategy %q (want none, local, shifted or hex)", sc.Strategy)
+	}
+	switch sc.Strategy {
+	case Local, Hex:
+		if sc.Design == "" {
+			return fmt.Errorf("sweep: strategy %q requires a design", sc.Strategy)
+		}
+		if sc.SpareRows != 0 {
+			return fmt.Errorf("sweep: spare_rows applies only to the shifted strategy")
+		}
+	case Shifted:
+		if sc.Design != "" {
+			return fmt.Errorf("sweep: design applies only to the local and hex strategies")
+		}
+		if sc.SpareRows < 1 {
+			return fmt.Errorf("sweep: spare-row count %d must be at least 1", sc.SpareRows)
+		}
+	default:
+		if sc.Design != "" {
+			return fmt.Errorf("sweep: design applies only to the local and hex strategies")
+		}
+		if sc.SpareRows != 0 {
+			return fmt.Errorf("sweep: spare_rows applies only to the shifted strategy")
+		}
+	}
+	if sc.NPrimary <= 0 {
+		return fmt.Errorf("sweep: primary-cell count %d must be positive", sc.NPrimary)
+	}
+	if sc.P != sc.P || sc.P < 0 || sc.P > 1 {
+		return fmt.Errorf("sweep: survival probability %v outside [0,1]", sc.P)
+	}
+	if !sc.DefectModel.valid() {
+		return fmt.Errorf("sweep: unknown defect model %q (want independent or clustered)", sc.DefectModel)
+	}
+	if sc.DefectModel == Clustered {
+		if sc.ClusterSize != sc.ClusterSize || sc.ClusterSize < 1 {
+			return fmt.Errorf("sweep: cluster size %v must be at least 1", sc.ClusterSize)
+		}
+	} else if sc.ClusterSize != 0 {
+		return fmt.Errorf("sweep: cluster_size applies only to the clustered defect model")
+	}
+	return nil
+}
+
+// Model converts the scenario's defect-model axes to the defects package
+// type.
+func (sc Scenario) Model() defects.Model {
+	return defects.Model{Clustered: sc.DefectModel == Clustered, ClusterSize: sc.ClusterSize}
+}
+
+// Point is one Scenario at its position in a sweep grid's deterministic
+// order.
+type Point struct {
+	// Index is the point's position in the sweep's deterministic order.
+	Index int
+	Scenario
 }
 
 // Expand validates the spec and flattens it into its ordered point list.
@@ -272,9 +363,8 @@ func (s Spec) Expand() ([]Point, error) {
 	}
 	ps := s.PValues()
 	pts := make([]Point, 0, s.NumPoints())
-	add := func(pt Point) {
-		pt.Index = len(pts)
-		pts = append(pts, pt)
+	add := func(sc Scenario) {
+		pts = append(pts, Point{Index: len(pts), Scenario: sc})
 	}
 	for _, st := range s.Strategies {
 		for _, m := range s.DefectModels {
@@ -287,7 +377,7 @@ func (s Spec) Expand() ([]Point, error) {
 				for _, d := range s.Designs {
 					for _, n := range s.NPrimaries {
 						for _, p := range ps {
-							add(Point{Strategy: st, Design: d, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+							add(Scenario{Strategy: st, Design: d, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
 						}
 					}
 				}
@@ -295,14 +385,14 @@ func (s Spec) Expand() ([]Point, error) {
 				for _, r := range s.SpareRows {
 					for _, n := range s.NPrimaries {
 						for _, p := range ps {
-							add(Point{Strategy: Shifted, SpareRows: r, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+							add(Scenario{Strategy: Shifted, SpareRows: r, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
 						}
 					}
 				}
 			default:
 				for _, n := range s.NPrimaries {
 					for _, p := range ps {
-						add(Point{Strategy: None, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
+						add(Scenario{Strategy: None, NPrimary: n, P: p, DefectModel: m, ClusterSize: size})
 					}
 				}
 			}

@@ -105,7 +105,7 @@ func TestSpecValidation(t *testing.T) {
 func TestRunEmitsInPointOrder(t *testing.T) {
 	pts := make([]Point, 16)
 	for i := range pts {
-		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+		pts[i] = Point{Index: i, Scenario: Scenario{Strategy: None, NPrimary: 10, P: 0.9}}
 	}
 	// Later points finish first: early indices sleep longest.
 	eval := func(ctx context.Context, pt Point) (PointResult, error) {
@@ -163,7 +163,7 @@ func TestRunResultsIndependentOfWorkerCount(t *testing.T) {
 func TestRunFirstErrorWinsAndStopsEmission(t *testing.T) {
 	pts := make([]Point, 12)
 	for i := range pts {
-		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+		pts[i] = Point{Index: i, Scenario: Scenario{Strategy: None, NPrimary: 10, P: 0.9}}
 	}
 	boom := errors.New("boom")
 	eval := func(ctx context.Context, pt Point) (PointResult, error) {
@@ -188,7 +188,7 @@ func TestRunFirstErrorWinsAndStopsEmission(t *testing.T) {
 func TestRunEmitErrorCancels(t *testing.T) {
 	pts := make([]Point, 8)
 	for i := range pts {
-		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+		pts[i] = Point{Index: i, Scenario: Scenario{Strategy: None, NPrimary: 10, P: 0.9}}
 	}
 	stop := errors.New("client gone")
 	var calls atomic.Int32
@@ -255,7 +255,7 @@ func TestRunCancellationLeaksNoGoroutines(t *testing.T) {
 }
 
 func TestEvaluateNoneMatchesClosedForm(t *testing.T) {
-	pt := Point{Strategy: None, NPrimary: 50, P: 0.97}
+	pt := Point{Scenario: Scenario{Strategy: None, NPrimary: 50, P: 0.97}}
 	res, err := Evaluate(context.Background(), pt, core.SimParams{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +271,7 @@ func TestEvaluateNoneMatchesClosedForm(t *testing.T) {
 
 func TestEvaluateLocalMatchesCore(t *testing.T) {
 	sp := core.SimParams{Runs: 500, Seed: 99}
-	pt := Point{Strategy: Local, Design: "DTMB(2,6)", NPrimary: 40, P: 0.95}
+	pt := Point{Scenario: Scenario{Strategy: Local, Design: "DTMB(2,6)", NPrimary: 40, P: 0.95}}
 	res, err := Evaluate(context.Background(), pt, sp)
 	if err != nil {
 		t.Fatal(err)
@@ -295,7 +295,7 @@ func TestEvaluateLocalMatchesCore(t *testing.T) {
 func TestEvaluateShiftedBasics(t *testing.T) {
 	sp := core.SimParams{Runs: 400, Seed: 3}
 	at := func(p float64) PointResult {
-		res, err := Evaluate(context.Background(), Point{Strategy: Shifted, NPrimary: 36, SpareRows: 1, P: p}, sp)
+		res, err := Evaluate(context.Background(), Point{Scenario: Scenario{Strategy: Shifted, NPrimary: 36, SpareRows: 1, P: p}}, sp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func TestEvaluateShiftedBasics(t *testing.T) {
 }
 
 func TestEvaluateUnknownStrategy(t *testing.T) {
-	if _, err := Evaluate(context.Background(), Point{Strategy: "bogus", NPrimary: 10, P: 0.9}, core.SimParams{}); err == nil {
+	if _, err := Evaluate(context.Background(), Point{Scenario: Scenario{Strategy: "bogus", NPrimary: 10, P: 0.9}}, core.SimParams{}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -361,7 +361,7 @@ func TestRunRealErrorNotMaskedByCancellation(t *testing.T) {
 	// failing index is always emitted and the real error is returned.
 	pts := make([]Point, 6)
 	for i := range pts {
-		pts[i] = Point{Index: i, Strategy: None, NPrimary: 10, P: 0.9}
+		pts[i] = Point{Index: i, Scenario: Scenario{Strategy: None, NPrimary: 10, P: 0.9}}
 	}
 	boom := errors.New("boom")
 	eval := func(ctx context.Context, pt Point) (PointResult, error) {

@@ -1,39 +1,59 @@
 #!/usr/bin/env bash
-# bench.sh — run the hex and clustered-defect kernel benchmarks and emit a
-# machine-readable baseline to BENCH_hex_cluster.json (at the repo root, or
-# at $1 if given). Compare runs with:
+# bench.sh — run the kernel and API benchmark suites and emit
+# machine-readable baselines at the repo root:
 #
-#   scripts/bench.sh && git diff BENCH_hex_cluster.json
+#   BENCH_hex_cluster.json  hex + clustered-defect kernels
+#   BENCH_v2_api.json       v2 job store + client streaming
 #
-# BENCH_PATTERN and BENCH_COUNT override the benchmark selection and the
-# repetition count (defaults: the hex/clustered kernels, 1 repetition).
+# Compare runs with:
+#
+#   scripts/bench.sh && git diff BENCH_hex_cluster.json BENCH_v2_api.json
+#
+# BENCH_COUNT overrides the repetition count (default 1). Passing a single
+# argument restores the historical single-suite behavior: emit only the
+# kernel suite to that path (BENCH_PATTERN still overrides its selection).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_hex_cluster.json}"
-pattern="${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}"
 count="${BENCH_COUNT:-1}"
 
-raw="$(go test -run '^$' -bench "$pattern" -benchmem -count "$count" .)"
+# emit_suite NAME PATTERN OUT — run one benchmark selection and write its
+# JSON baseline.
+emit_suite() {
+  local name="$1" pattern="$2" out="$3"
+  local raw
+  raw="$(go test -run '^$' -bench "$pattern" -benchmem -count "$count" .)"
+  {
+    echo '{'
+    echo "  \"suite\": \"$name\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"pattern\": \"$pattern\","
+    echo '  "benchmarks": ['
+    printf '%s\n' "$raw" | awk '
+      /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                       name, $2, $3, $5, $7)
+        if (n++) printf(",\n")
+        printf("%s", line)
+      }
+      END { printf("\n") }'
+    echo '  ]'
+    echo '}'
+  } > "$out"
+  echo "wrote $out:"
+  cat "$out"
+}
 
-{
-  echo '{'
-  echo '  "suite": "dmfb hex + clustered-defect kernels",'
-  echo "  \"go\": \"$(go env GOVERSION)\","
-  echo "  \"pattern\": \"$pattern\","
-  echo '  "benchmarks": ['
-  printf '%s\n' "$raw" | awk '
-    /^Benchmark/ {
-      name = $1; sub(/-[0-9]+$/, "", name)
-      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                     name, $2, $3, $5, $7)
-      if (n++) printf(",\n")
-      printf("%s", line)
-    }
-    END { printf("\n") }'
-  echo '  ]'
-  echo '}'
-} > "$out"
+if [ $# -ge 1 ]; then
+  emit_suite "dmfb hex + clustered-defect kernels" \
+    "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}" "$1"
+  exit 0
+fi
 
-echo "wrote $out:"
-cat "$out"
+emit_suite "dmfb hex + clustered-defect kernels" \
+  "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}" \
+  BENCH_hex_cluster.json
+emit_suite "dmfb v2 job store + client streaming" \
+  'JobStore|ClientJobStream' \
+  BENCH_v2_api.json
