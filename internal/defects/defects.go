@@ -210,6 +210,21 @@ func (f *FaultSet) FaultyPrimaries(arr *layout.Array) []layout.CellID {
 	return out
 }
 
+// AnyFaultyPrimary reports whether any primary cell of the array is faulty.
+// It is the allocation-free form of len(FaultyPrimaries(arr)) > 0 for
+// Monte-Carlo trial loops that only need the verdict.
+func (f *FaultSet) AnyFaultyPrimary(arr *layout.Array) bool {
+	if f.count == 0 {
+		return false
+	}
+	for _, id := range arr.Primaries() {
+		if f.faulty[id] {
+			return true
+		}
+	}
+	return false
+}
+
 // FaultySpares returns the faulty cells of the array that are spares,
 // ascending.
 func (f *FaultSet) FaultySpares(arr *layout.Array) []layout.CellID {
@@ -226,12 +241,22 @@ func (f *FaultSet) FaultySpares(arr *layout.Array) []layout.CellID {
 // each worker its own Injector (see stats.SeedStream).
 type Injector struct {
 	rng *rand.Rand
+	// pool is the scratch permutation buffer of FixedCount draws, refilled
+	// from the domain on every call so results stay independent of call
+	// history while the allocation is paid once.
+	pool []layout.CellID
 }
 
 // NewInjector returns an injector with a deterministic PRNG stream.
 func NewInjector(seed int64) *Injector {
 	return &Injector{rng: rand.New(rand.NewSource(seed))}
 }
+
+// Reseed rewinds the injector onto a fresh deterministic PRNG stream, as if
+// newly constructed with NewInjector(seed), while keeping its scratch
+// buffers. The chunked Monte-Carlo kernel reseeds one worker-owned injector
+// per chunk instead of allocating a new one (a rand source is ~5 KB).
+func (in *Injector) Reseed(seed int64) { in.rng.Seed(seed) }
 
 // Bernoulli marks every cell of the array faulty independently with
 // probability q = 1−p, the paper's yield-analysis assumption. It reuses dst
@@ -265,6 +290,62 @@ func (in *Injector) BernoulliN(numCells int, p float64, dst *FaultSet) *FaultSet
 	return dst
 }
 
+// BernoulliGeom is Bernoulli with geometric skip-sampling: the same
+// marginal fault distribution drawn with O(expected faults) PRNG calls
+// instead of O(N) (resetting dst remains O(N) either way). See
+// BernoulliGeomN for the draw-order caveat.
+func (in *Injector) BernoulliGeom(arr *layout.Array, p float64, dst *FaultSet) *FaultSet {
+	return in.BernoulliGeomN(arr.NumCells(), p, dst)
+}
+
+// BernoulliGeomN marks each of numCells cells faulty independently with
+// probability q = 1−p, like BernoulliN, but samples the gaps between
+// successive faults from the geometric distribution instead of flipping one
+// coin per cell. At the high survival probabilities yield analysis cares
+// about (q ≪ 1) a draw costs O(q·N) PRNG calls rather than O(N).
+//
+// The marginal distribution of the fault set is identical to BernoulliN's,
+// but the PRNG draw order is not: a trial using the skip-sampler consumes
+// different random numbers, so individual trial outcomes (and therefore
+// golden fixtures pinned to the per-cell scan) differ while every
+// statistical property is preserved. Callers opt in explicitly — see
+// yieldsim.MonteCarlo.FastSampling — and remain deterministic per seed.
+func (in *Injector) BernoulliGeomN(numCells int, p float64, dst *FaultSet) *FaultSet {
+	if dst == nil || dst.NumCells() != numCells {
+		dst = NewFaultSet(numCells)
+	} else {
+		dst.Clear()
+	}
+	q := 1 - p
+	if math.IsNaN(q) || q <= 0 {
+		// NaN degrades to the empty set, matching BernoulliN (whose per-cell
+		// comparison against NaN never fires).
+		return dst
+	}
+	if q >= 1 {
+		for i := 0; i < numCells; i++ {
+			dst.MarkFaulty(layout.CellID(i))
+		}
+		return dst
+	}
+	// The gap before the next fault is Geometric(q): floor(ln(U)/ln(1−q))
+	// with U uniform on (0,1]. rng.Float64 is uniform on [0,1), so use 1−U.
+	lnSurvive := math.Log1p(-q)
+	i := 0
+	for {
+		skip := math.Floor(math.Log1p(-in.rng.Float64()) / lnSurvive)
+		if skip >= float64(numCells-i) {
+			return dst
+		}
+		i += int(skip)
+		dst.MarkFaulty(layout.CellID(i))
+		i++
+		if i >= numCells {
+			return dst
+		}
+	}
+}
+
 // Domain selects which cells fixed-count injection may hit.
 type Domain uint8
 
@@ -287,18 +368,22 @@ func (d Domain) String() string {
 }
 
 // FixedCount marks exactly m distinct cells faulty, drawn uniformly from the
-// domain. It returns an error if m exceeds the domain size.
+// domain. It returns an error if m exceeds the domain size. The draw buffer
+// is the injector's cached pool, refilled from the domain each call: the
+// sequence of faults for a given seed is exactly what a freshly allocated
+// pool would produce, but steady-state Monte-Carlo loops allocate nothing.
 func (in *Injector) FixedCount(arr *layout.Array, m int, domain Domain, dst *FaultSet) (*FaultSet, error) {
 	dst = in.prepare(arr, dst)
 	var pool []layout.CellID
 	switch domain {
 	case AllCells:
-		pool = make([]layout.CellID, arr.NumCells())
+		pool = in.poolOf(arr.NumCells())
 		for i := range pool {
 			pool[i] = layout.CellID(i)
 		}
 	case PrimariesOnly:
-		pool = append([]layout.CellID(nil), arr.Primaries()...)
+		pool = in.poolOf(len(arr.Primaries()))
+		copy(pool, arr.Primaries())
 	default:
 		return nil, fmt.Errorf("defects: unknown domain %d", domain)
 	}
@@ -416,6 +501,16 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// poolOf returns the injector's cached draw buffer resliced to size,
+// reallocating only on growth. Contents are stale; callers refill it.
+func (in *Injector) poolOf(size int) []layout.CellID {
+	if cap(in.pool) < size {
+		in.pool = make([]layout.CellID, size)
+	}
+	in.pool = in.pool[:size]
+	return in.pool
 }
 
 func (in *Injector) prepare(arr *layout.Array, dst *FaultSet) *FaultSet {

@@ -1,0 +1,207 @@
+package defects
+
+import (
+	"math"
+	"testing"
+
+	"dmfb/internal/layout"
+)
+
+// TestAnyFaultyPrimary checks the allocation-free verdict against the
+// slice-materializing reference on assorted fault sets.
+func TestAnyFaultyPrimary(t *testing.T) {
+	arr := testArray(t)
+	fs := NewFaultSet(arr.NumCells())
+	if fs.AnyFaultyPrimary(arr) {
+		t.Fatal("empty fault set reports a faulty primary")
+	}
+	// Spares only: count > 0 but no faulty primary.
+	for _, id := range arr.Spares()[:3] {
+		fs.MarkFaulty(id)
+	}
+	if fs.AnyFaultyPrimary(arr) {
+		t.Fatal("spare-only fault set reports a faulty primary")
+	}
+	fs.MarkFaulty(arr.Primaries()[len(arr.Primaries())-1])
+	if !fs.AnyFaultyPrimary(arr) {
+		t.Fatal("faulty primary not detected")
+	}
+	// Randomized agreement with FaultyPrimaries.
+	in := NewInjector(9)
+	var dst *FaultSet
+	for seed := 0; seed < 50; seed++ {
+		dst = in.Bernoulli(arr, 0.97, dst)
+		if got, want := dst.AnyFaultyPrimary(arr), len(dst.FaultyPrimaries(arr)) > 0; got != want {
+			t.Fatalf("seed %d: AnyFaultyPrimary=%v, reference=%v", seed, got, want)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { fs.AnyFaultyPrimary(arr) })
+	if allocs != 0 {
+		t.Fatalf("AnyFaultyPrimary allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestReseedMatchesFreshInjector checks that Reseed rewinds onto exactly the
+// stream a fresh injector would produce, regardless of prior use — the
+// property the chunked kernel relies on when reusing one injector per worker.
+func TestReseedMatchesFreshInjector(t *testing.T) {
+	arr := testArray(t)
+	used := NewInjector(1)
+	// Dirty the injector's rng and pool with unrelated draws.
+	var scratch *FaultSet
+	scratch = used.Bernoulli(arr, 0.5, scratch)
+	if _, err := used.FixedCount(arr, 17, PrimariesOnly, scratch); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{0, 1, -4, 1 << 40} {
+		used.Reseed(seed)
+		fresh := NewInjector(seed)
+		a := used.Bernoulli(arr, 0.9, nil)
+		b := fresh.Bernoulli(arr, 0.9, nil)
+		if !sameFaults(a, b) {
+			t.Fatalf("seed %d: reseeded Bernoulli differs from fresh injector", seed)
+		}
+		ac, err := used.FixedCount(arr, 11, AllCells, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := fresh.FixedCount(arr, 11, AllCells, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFaults(ac, bc) {
+			t.Fatalf("seed %d: reseeded FixedCount differs from fresh injector", seed)
+		}
+	}
+}
+
+func sameFaults(a, b *FaultSet) bool {
+	if a.NumCells() != b.NumCells() || a.Count() != b.Count() {
+		return false
+	}
+	for i := 0; i < a.NumCells(); i++ {
+		if a.IsFaulty(layout.CellID(i)) != b.IsFaulty(layout.CellID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBernoulliGeomRate checks that the skip-sampler's realized fault rate
+// matches the target q = 1−p (same marginal distribution as BernoulliN).
+func TestBernoulliGeomRate(t *testing.T) {
+	const numCells, p, draws = 400, 0.95, 3000
+	in := NewInjector(5)
+	var fs *FaultSet
+	total := 0
+	first, last := 0, 0
+	for i := 0; i < draws; i++ {
+		fs = in.BernoulliGeomN(numCells, p, fs)
+		total += fs.Count()
+		if fs.IsFaulty(0) {
+			first++
+		}
+		if fs.IsFaulty(numCells - 1) {
+			last++
+		}
+	}
+	q := 1 - p
+	mean := float64(total) / draws
+	want := q * numCells
+	// 5-sigma band on the mean of `draws` binomial draws.
+	sigma := 5 * math.Sqrt(float64(numCells)*q*p/draws)
+	if math.Abs(mean-want) > sigma {
+		t.Fatalf("mean fault count %.2f, want %.2f ± %.2f", mean, want, sigma)
+	}
+	// Boundary cells must carry the same marginal rate (off-by-one guard).
+	cellSigma := 5 * math.Sqrt(q*p/draws)
+	for name, hits := range map[string]int{"first": first, "last": last} {
+		rate := float64(hits) / draws
+		if math.Abs(rate-q) > cellSigma {
+			t.Fatalf("%s cell fault rate %.4f, want %.4f ± %.4f", name, rate, q, cellSigma)
+		}
+	}
+}
+
+// TestBernoulliGeomDeterministicAndEdges pins seed determinism, dst reuse,
+// the p-extremes, and the layout.Array wrapper.
+func TestBernoulliGeomDeterministicAndEdges(t *testing.T) {
+	arr := testArray(t)
+	a := NewInjector(3).BernoulliGeom(arr, 0.9, nil)
+	b := NewInjector(3).BernoulliGeom(arr, 0.9, nil)
+	if !sameFaults(a, b) {
+		t.Fatal("same seed produced different skip-sampled fault sets")
+	}
+	reused := NewInjector(3).BernoulliGeom(arr, 0.9, NewFaultSet(arr.NumCells()))
+	if !sameFaults(a, reused) {
+		t.Fatal("dst reuse changed the draw")
+	}
+	if fs := NewInjector(1).BernoulliGeomN(50, 1.0, nil); fs.Count() != 0 {
+		t.Fatalf("p=1 produced %d faults", fs.Count())
+	}
+	if fs := NewInjector(1).BernoulliGeomN(50, 0.0, nil); fs.Count() != 50 {
+		t.Fatalf("p=0 produced %d faults, want all 50", fs.Count())
+	}
+	// NaN degrades to the empty set like BernoulliN, instead of panicking.
+	if fs := NewInjector(1).BernoulliGeomN(50, math.NaN(), nil); fs.Count() != 0 {
+		t.Fatalf("p=NaN produced %d faults, want 0", fs.Count())
+	}
+	allocs := testing.AllocsPerRun(100, func() { a = NewInjector(2).BernoulliGeomN(arr.NumCells(), 0.95, a) })
+	if allocs > 3 { // the injector itself; the draw must not add to it
+		t.Fatalf("BernoulliGeomN allocates %.1f times per run", allocs)
+	}
+}
+
+// TestFixedCountPoolSteadyStateZeroAllocs pins the cached-pool fast path:
+// after the first draw, fixed-count injection allocates nothing.
+func TestFixedCountPoolSteadyStateZeroAllocs(t *testing.T) {
+	arr := testArray(t)
+	in := NewInjector(4)
+	var fs *FaultSet
+	var err error
+	for _, domain := range []Domain{AllCells, PrimariesOnly} {
+		if fs, err = in.FixedCount(arr, 20, domain, fs); err != nil { // warm pool + dst
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			var e error
+			fs, e = in.FixedCount(arr, 20, domain, fs)
+			if e != nil {
+				t.Fatal(e)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: steady-state FixedCount allocates %.1f times per run, want 0", domain, allocs)
+		}
+	}
+}
+
+// TestFixedCountHistoryIndependent checks that a dirty cached pool cannot
+// leak into the next draw: the fault sequence for a seed is identical
+// whether the injector is fresh or has served arbitrary prior draws.
+func TestFixedCountHistoryIndependent(t *testing.T) {
+	arr := testArray(t)
+	dirty := NewInjector(0)
+	var fs *FaultSet
+	var err error
+	for m := 1; m < 30; m += 7 { // leave the pool partially shuffled
+		if fs, err = dirty.FixedCount(arr, m, AllCells, fs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty.Reseed(77)
+	fresh := NewInjector(77)
+	for i := 0; i < 10; i++ {
+		a, err := dirty.FixedCount(arr, 15, AllCells, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.FixedCount(arr, 15, AllCells, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFaults(a, b) {
+			t.Fatalf("draw %d: dirty-pool injector diverged from fresh injector", i)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package matching
+
+// Matcher is a reusable maximum-matching solver for the Monte-Carlo hot
+// path. Where Graph allocates adjacency lists and Result slices per call,
+// a Matcher keeps every working array — flat CSR adjacency, match, BFS
+// distance, and queue buffers — as scratch that survives across trials, so
+// a steady-state feasibility query performs no heap allocation at all.
+//
+// The build protocol is streaming and left-vertex-at-a-time, which is
+// exactly how reconfiguration assembles its repair graph (one faulty
+// primary after another):
+//
+//	m.Reset(nb)
+//	for each left vertex:
+//	    m.AddEdge(b) ... // edges of the current left vertex
+//	    deg := m.EndLeft()
+//	    if deg == 0 { /* no matching can saturate A */ }
+//	feasible := m.SaturatesA()
+//
+// Edges added after Reset and before the first EndLeft belong to left
+// vertex 0, and so on. The solver is Hopcroft–Karp, identical in result
+// to Graph.HopcroftKarp (and, by maximality, to Graph.Kuhn).
+//
+// A Matcher is not safe for concurrent use; give each worker its own.
+type Matcher struct {
+	nb int
+	// CSR adjacency: edges of left vertex a are edges[starts[a]:starts[a+1]].
+	// len(starts) == NA()+1 at all times; starts[0] == 0.
+	starts []int32
+	edges  []int32
+	// emptyLeft records whether any completed left vertex has degree zero —
+	// an immediate Hall violation (|N({a})| = 0 < 1) that lets SaturatesA
+	// answer without running the solver.
+	emptyLeft bool
+
+	matchA, matchB, dist, queue []int32
+}
+
+// NewMatcher returns a matcher with scratch preallocated for graphs of up
+// to maxA left vertices, maxB right vertices, and maxEdges edges. Larger
+// graphs still work; they just grow the scratch once. Callers that know
+// their bounds (reconfig sessions know the array) reach zero steady-state
+// allocation immediately.
+func NewMatcher(maxA, maxB, maxEdges int) *Matcher {
+	if maxA < 0 {
+		maxA = 0
+	}
+	if maxB < 0 {
+		maxB = 0
+	}
+	if maxEdges < 0 {
+		maxEdges = 0
+	}
+	m := &Matcher{
+		starts: make([]int32, 1, maxA+1),
+		edges:  make([]int32, 0, maxEdges),
+		matchA: make([]int32, maxA),
+		matchB: make([]int32, maxB),
+		dist:   make([]int32, maxA),
+		queue:  make([]int32, 0, maxA),
+	}
+	return m
+}
+
+// Reset clears the matcher for a new graph with nb right vertices. Left
+// vertices are introduced incrementally by AddEdge/EndLeft.
+func (m *Matcher) Reset(nb int) {
+	if nb < 0 {
+		nb = 0
+	}
+	m.nb = nb
+	m.starts = m.starts[:1]
+	m.starts[0] = 0
+	m.edges = m.edges[:0]
+	m.emptyLeft = false
+}
+
+// NA returns the number of completed left vertices.
+func (m *Matcher) NA() int { return len(m.starts) - 1 }
+
+// NB returns the number of right vertices.
+func (m *Matcher) NB() int { return m.nb }
+
+// Edges returns the number of edges added since Reset (including those of
+// the still-open left vertex).
+func (m *Matcher) Edges() int { return len(m.edges) }
+
+// AddEdge attaches right vertex b to the currently open left vertex. b must
+// be in [0, NB()); out-of-range values panic, as the caller (a session bound
+// to a fixed array) controls both sides.
+func (m *Matcher) AddEdge(b int) {
+	if b < 0 || b >= m.nb {
+		panic("matching: right vertex out of range")
+	}
+	m.edges = append(m.edges, int32(b))
+}
+
+// EndLeft completes the current left vertex and returns its degree. A zero
+// degree means this vertex can never be matched — callers typically
+// early-exit a saturation query on it.
+func (m *Matcher) EndLeft() int {
+	deg := len(m.edges) - int(m.starts[len(m.starts)-1])
+	m.starts = append(m.starts, int32(len(m.edges)))
+	if deg == 0 {
+		m.emptyLeft = true
+	}
+	return deg
+}
+
+// MaxMatchingSize computes the maximum matching size with Hopcroft–Karp
+// over the scratch buffers, without materializing a Result.
+func (m *Matcher) MaxMatchingSize() int {
+	na := m.NA()
+	if na == 0 || m.nb == 0 || len(m.edges) == 0 {
+		return 0
+	}
+	m.matchA = growInt32(m.matchA, na)
+	m.matchB = growInt32(m.matchB, m.nb)
+	m.dist = growInt32(m.dist, na)
+	for i := 0; i < na; i++ {
+		m.matchA[i] = Unmatched
+	}
+	for i := 0; i < m.nb; i++ {
+		m.matchB[i] = Unmatched
+	}
+	size := 0
+	for m.bfs() {
+		for a := int32(0); a < int32(na); a++ {
+			if m.matchA[a] == Unmatched && m.dfs(a) {
+				size++
+			}
+		}
+	}
+	return size
+}
+
+// SaturatesA reports whether a maximum matching covers every left vertex —
+// the reconfiguration-feasibility question. A recorded degree-zero left
+// vertex answers false immediately, skipping the solver.
+func (m *Matcher) SaturatesA() bool {
+	if m.emptyLeft {
+		return false
+	}
+	na := m.NA()
+	if na == 0 {
+		return true
+	}
+	return m.MaxMatchingSize() == na
+}
+
+const matcherInf = int32(1) << 30
+
+func (m *Matcher) bfs() bool {
+	na := int32(m.NA())
+	m.queue = m.queue[:0]
+	for a := int32(0); a < na; a++ {
+		if m.matchA[a] == Unmatched {
+			m.dist[a] = 0
+			m.queue = append(m.queue, a)
+		} else {
+			m.dist[a] = matcherInf
+		}
+	}
+	found := false
+	for i := 0; i < len(m.queue); i++ {
+		a := m.queue[i]
+		for j := m.starts[a]; j < m.starts[a+1]; j++ {
+			nxt := m.matchB[m.edges[j]]
+			if nxt == Unmatched {
+				found = true
+				continue
+			}
+			if m.dist[nxt] == matcherInf {
+				m.dist[nxt] = m.dist[a] + 1
+				m.queue = append(m.queue, nxt)
+			}
+		}
+	}
+	return found
+}
+
+func (m *Matcher) dfs(a int32) bool {
+	for j := m.starts[a]; j < m.starts[a+1]; j++ {
+		b := m.edges[j]
+		nxt := m.matchB[b]
+		if nxt == Unmatched || (m.dist[nxt] == m.dist[a]+1 && m.dfs(nxt)) {
+			m.matchA[a] = b
+			m.matchB[b] = a
+			return true
+		}
+	}
+	m.dist[a] = matcherInf
+	return false
+}
+
+// growInt32 returns s resliced to length n, reallocating only when the
+// capacity is insufficient (which the preallocating constructor avoids).
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

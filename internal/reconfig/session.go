@@ -1,0 +1,126 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/matching"
+)
+
+// Session answers repeated reconfiguration-feasibility queries against one
+// fixed array without per-query allocation — the shape of the Monte-Carlo
+// yield kernel, where the array never changes and only the fault set does
+// (the repeated-feasibility framing of the companion dynamic-reconfiguration
+// paper). Where LocalReconfigure rebuilds the bipartite repair graph with
+// fresh maps and slices on every call, a Session precomputes the static
+// structure once at construction:
+//
+//   - a dense CellID → spare-slot index (replacing the per-call spareIdx map),
+//   - the worst-case matcher scratch sizes (every primary faulty, every
+//     spare adjacency an edge), so the embedded matching.Matcher never grows.
+//
+// Feasible then runs entirely in scratch. It answers exactly the question
+// LocalReconfigure(...).OK answers under the same Options — an equivalence
+// the session differential tests pin across all designs, fault patterns,
+// and seeds — but materializes no Plan, no assignments, and no Hall witness.
+// Use LocalReconfigure when the caller needs the plan itself (API responses,
+// the case-study tools); use a Session when only the verdict matters.
+//
+// A Session is not safe for concurrent use. Workers sharing an array must
+// each own a Session; the array itself is read-only and freely shared.
+type Session struct {
+	arr  *layout.Array
+	opts Options
+	// spareSlot[id] is the dense index of cell id among the array's spares,
+	// or -1 for primaries. It is the static replacement for the spareIdx map
+	// LocalReconfigure rebuilds per call.
+	spareSlot []int32
+	// targets is the scratch list of faulty primaries to repair, capacity
+	// NumPrimary (the worst case).
+	targets []layout.CellID
+	m       *matching.Matcher
+}
+
+// NewSession builds a reusable feasibility session for the array under the
+// given options. Options.UseKuhn is ignored: both matching algorithms are
+// exact, so feasibility is algorithm-independent, and the session always
+// runs its scratch-arena Hopcroft–Karp. The array must outlive the session.
+func NewSession(arr *layout.Array, opts Options) (*Session, error) {
+	if arr == nil {
+		return nil, fmt.Errorf("reconfig: nil array")
+	}
+	if opts.Scope == RepairUsed && len(opts.Used) != arr.NumCells() {
+		return nil, fmt.Errorf("reconfig: RepairUsed requires Used mask of %d cells, got %d",
+			arr.NumCells(), len(opts.Used))
+	}
+	spareSlot := make([]int32, arr.NumCells())
+	for i := range spareSlot {
+		spareSlot[i] = -1
+	}
+	for slot, id := range arr.Spares() {
+		spareSlot[id] = int32(slot)
+	}
+	maxEdges := 0
+	for _, id := range arr.Primaries() {
+		maxEdges += len(arr.SpareNeighbors(id))
+	}
+	return &Session{
+		arr:       arr,
+		opts:      opts,
+		spareSlot: spareSlot,
+		targets:   make([]layout.CellID, 0, arr.NumPrimary()),
+		m:         matching.NewMatcher(arr.NumPrimary(), arr.NumSpare(), maxEdges),
+	}, nil
+}
+
+// Array returns the array the session is bound to.
+func (s *Session) Array() *layout.Array { return s.arr }
+
+// Feasible reports whether local reconfiguration can repair every faulty
+// primary in scope: the same verdict as LocalReconfigure(arr, fs, opts).OK,
+// computed without heap allocation. Spares that are themselves faulty are
+// unusable; a spare repairs at most one primary.
+func (s *Session) Feasible(fs *defects.FaultSet) (bool, error) {
+	if fs == nil {
+		return false, fmt.Errorf("reconfig: nil fault set")
+	}
+	if fs.NumCells() != s.arr.NumCells() {
+		return false, fmt.Errorf("reconfig: fault set sized %d, array %d",
+			fs.NumCells(), s.arr.NumCells())
+	}
+	// Degenerate fast path: an all-healthy array needs no repair.
+	if fs.Count() == 0 {
+		return true, nil
+	}
+	targets := s.targets[:0]
+	for _, id := range s.arr.Primaries() {
+		if !fs.IsFaulty(id) {
+			continue
+		}
+		if s.opts.Scope == RepairUsed && !s.opts.Used[id] {
+			continue
+		}
+		targets = append(targets, id)
+	}
+	s.targets = targets
+	if len(targets) == 0 {
+		return true, nil
+	}
+	// Build the repair graph over the full spare set: faulty spares simply
+	// receive no edges, so the dynamic spare subset of LocalReconfigure is
+	// unnecessary. A target with no healthy adjacent spare is an immediate
+	// Hall violation (|N({t})| = 0), reported without running the solver.
+	s.m.Reset(s.arr.NumSpare())
+	for _, t := range targets {
+		for _, sp := range s.arr.SpareNeighbors(t) {
+			if !fs.IsFaulty(sp) {
+				s.m.AddEdge(int(s.spareSlot[sp]))
+			}
+		}
+		if s.m.EndLeft() == 0 {
+			return false, nil
+		}
+	}
+	return s.m.SaturatesA(), nil
+}

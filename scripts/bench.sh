@@ -2,12 +2,20 @@
 # bench.sh — run the kernel and API benchmark suites and emit
 # machine-readable baselines at the repo root:
 #
+#   BENCH_kernel_opt.json   Monte-Carlo kernel suite, before/after: "before"
+#                           is read from the committed BENCH_hex_cluster.json
+#                           baseline, "after" is this run
 #   BENCH_hex_cluster.json  hex + clustered-defect kernels
 #   BENCH_v2_api.json       v2 job store + client streaming
 #
+# The kernel benchmarks run exactly once per invocation: one raw pass over
+# the union pattern feeds both BENCH_kernel_opt.json ("after" side) and
+# BENCH_hex_cluster.json, so the two files can never disagree about the
+# same benchmark within one run.
+#
 # Compare runs with:
 #
-#   scripts/bench.sh && git diff BENCH_hex_cluster.json BENCH_v2_api.json
+#   scripts/bench.sh && git diff BENCH_*.json
 #
 # BENCH_COUNT overrides the repetition count (default 1). Passing a single
 # argument restores the historical single-suite behavior: emit only the
@@ -17,21 +25,25 @@ cd "$(dirname "$0")/.."
 
 count="${BENCH_COUNT:-1}"
 
-# emit_suite NAME PATTERN OUT — run one benchmark selection and write its
-# JSON baseline.
-emit_suite() {
-  local name="$1" pattern="$2" out="$3"
-  local raw
-  raw="$(go test -run '^$' -bench "$pattern" -benchmem -count "$count" .)"
+# run_bench PATTERN — one raw `go test -bench` pass.
+run_bench() {
+  go test -run '^$' -bench "$1" -benchmem -count "$count" .
+}
+
+# format_suite NAME PATTERN OUT RAW — write the benchmarks of RAW whose
+# names match PATTERN as a JSON baseline.
+format_suite() {
+  local name="$1" pattern="$2" out="$3" raw="$4"
   {
     echo '{'
     echo "  \"suite\": \"$name\","
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"pattern\": \"$pattern\","
     echo '  "benchmarks": ['
-    printf '%s\n' "$raw" | awk '
+    printf '%s\n' "$raw" | awk -v pat="$pattern" '
       /^Benchmark/ {
         name = $1; sub(/-[0-9]+$/, "", name)
+        if (name !~ pat) next
         line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
                        name, $2, $3, $5, $7)
         if (n++) printf(",\n")
@@ -45,15 +57,108 @@ emit_suite() {
   cat "$out"
 }
 
+# emit_suite NAME PATTERN OUT — run one benchmark selection and write its
+# JSON baseline (the historical single-suite entry point).
+emit_suite() {
+  format_suite "$1" "$2" "$3" "$(run_bench "$2")"
+}
+
+# format_kernel_opt BASELINE OUT PATTERN RAW — write a before/after
+# comparison: "before" fields come from BASELINE (the baseline JSON written
+# by the previous run), "after" from RAW, plus the ns_per_op speedup where
+# both sides exist. Benchmarks the baseline suite does not record (e.g.
+# MonteCarloKernel) take their "before" from the previous OUT's "after"
+# side, so the comparison self-populates after the first run. Must be
+# called BEFORE format_suite refreshes BASELINE, or "before" silently
+# becomes "after".
+format_kernel_opt() {
+  local baseline="$1" out="$2" pattern="$3" raw="$4"
+  # Write to a temp file and move into place at the end: redirecting the
+  # block straight to $out would truncate it before the awk below reads it
+  # back as the prev-run fallback source.
+  local tmp
+  tmp="$(mktemp "${out}.XXXXXX")"
+  {
+    echo '{'
+    echo '  "suite": "dmfb Monte-Carlo kernel: zero-allocation trial path, before/after",'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"pattern\": \"$pattern\","
+    echo "  \"baseline\": \"$baseline\","
+    echo '  "benchmarks": ['
+    printf '%s\n' "$raw" | awk -v base="$baseline" -v prev="$out" -v pat="$pattern" '
+      BEGIN {
+        while ((getline line < base) > 0) {
+          if (line !~ /"name":/) continue
+          gsub(/[{}",:]/, " ", line)
+          n = split(line, f, /[ \t]+/)
+          bn = ""
+          for (i = 1; i <= n; i++) {
+            if (f[i] == "name") bn = f[i+1]
+            else if (f[i] == "ns_per_op") ns[bn] = f[i+1]
+            else if (f[i] == "bytes_per_op") by[bn] = f[i+1]
+            else if (f[i] == "allocs_per_op") al[bn] = f[i+1]
+          }
+        }
+        close(base)
+        # Fallback "before" source: the previous before/after file. Each of
+        # its benchmark lines carries the key set twice (before then after);
+        # left-to-right last-wins assignment keeps the "after" values, which
+        # are exactly the numbers of the previous run.
+        while ((getline line < prev) > 0) {
+          if (line !~ /"name":/) continue
+          gsub(/[{}",:]/, " ", line)
+          n = split(line, f, /[ \t]+/)
+          bn = ""
+          for (i = 1; i <= n; i++) {
+            if (f[i] == "name") bn = f[i+1]
+            else if (f[i] == "ns_per_op") fns[bn] = f[i+1]
+            else if (f[i] == "bytes_per_op") fby[bn] = f[i+1]
+            else if (f[i] == "allocs_per_op") fal[bn] = f[i+1]
+          }
+        }
+        close(prev)
+        for (bn in fns) {
+          if (!(bn in ns)) { ns[bn] = fns[bn]; by[bn] = fby[bn]; al[bn] = fal[bn] }
+        }
+      }
+      /^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (name !~ pat) next
+        if (name in ns)
+          before = sprintf("{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", ns[name], by[name], al[name])
+        else
+          before = "null"
+        after = sprintf("{\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $3, $5, $7)
+        speedup = (name in ns && $3 + 0 > 0) ? sprintf("%.2f", ns[name] / $3) : "null"
+        line = sprintf("    {\"name\": \"%s\", \"before\": %s, \"after\": %s, \"speedup\": %s}", name, before, after, speedup)
+        if (n2++) printf(",\n")
+        printf("%s", line)
+      }
+      END { printf("\n") }'
+    echo '  ]'
+    echo '}'
+  } > "$tmp"
+  mv "$tmp" "$out"
+  echo "wrote $out:"
+  cat "$out"
+}
+
 if [ $# -ge 1 ]; then
   emit_suite "dmfb hex + clustered-defect kernels" \
     "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}" "$1"
   exit 0
 fi
 
-emit_suite "dmfb hex + clustered-defect kernels" \
-  "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}" \
-  BENCH_hex_cluster.json
+# One raw pass over the union of the kernel selections feeds both kernel
+# files. The before/after file is formatted first: it reads
+# BENCH_hex_cluster.json as the "before" side, so it must see the previous
+# run's numbers, not this run's.
+hex_pattern="${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}"
+opt_pattern='HexYieldKernel|ClusteredDefectKernel|MonteCarloKernel'
+kernel_raw="$(run_bench "$hex_pattern|$opt_pattern")"
+format_kernel_opt BENCH_hex_cluster.json BENCH_kernel_opt.json "$opt_pattern" "$kernel_raw"
+format_suite "dmfb hex + clustered-defect kernels" "$hex_pattern" \
+  BENCH_hex_cluster.json "$kernel_raw"
 emit_suite "dmfb v2 job store + client streaming" \
   'JobStore|ClientJobStream' \
   BENCH_v2_api.json
