@@ -10,8 +10,6 @@ package dmfb_test
 import (
 	"context"
 	"fmt"
-	"io"
-	"log"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -331,7 +329,7 @@ func BenchmarkJobStore(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		j, err := jobs.Create(req)
+		j, err := jobs.Create(context.Background(), req)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -352,7 +350,7 @@ func BenchmarkClientJobStream(b *testing.B) {
 	engine := service.NewEngine(service.EngineConfig{DefaultRuns: 100})
 	jobs := service.NewJobStore(engine, service.JobStoreConfig{})
 	defer jobs.Close(context.Background())
-	srv := httptest.NewServer(service.NewHandler(engine, jobs, log.New(io.Discard, "", 0)))
+	srv := httptest.NewServer(service.NewHandler(engine, jobs, nil))
 	defer srv.Close()
 	c := client.New(srv.URL)
 	st, err := c.CreateJob(context.Background(), service.SweepRequest{

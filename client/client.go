@@ -65,9 +65,16 @@ type APIError struct {
 	StatusCode int
 	// Message is the server's error string.
 	Message string
+	// RequestID is the response's X-Request-ID — the server-side trace ID
+	// of the failed request. Quote it when reporting a problem: it joins
+	// this call to the server's access log and kernel spans.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("server returned %d (request %s): %s", e.StatusCode, e.RequestID, e.Message)
+	}
 	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
 }
 
@@ -82,10 +89,11 @@ func (e *StreamError) Error() string { return "stream ended with error: " + e.Me
 
 // Client talks to one dtmb-serve base URL.
 type Client struct {
-	base    string
-	httpc   *http.Client
-	retries int
-	backoff time.Duration
+	base      string
+	httpc     *http.Client
+	retries   int
+	backoff   time.Duration
+	requestID string
 }
 
 // Option configures a Client.
@@ -102,6 +110,14 @@ func WithHTTPClient(h *http.Client) Option {
 // budget. retries 0 disables resumption.
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// WithRequestID sets the X-Request-ID header on every request this client
+// sends. The server adopts it as the request's trace ID, so one
+// caller-chosen token links the client call to the server's access log and
+// kernel spans. Empty (the default) lets the server assign IDs.
+func WithRequestID(id string) Option {
+	return func(c *Client) { c.requestID = id }
 }
 
 // New builds a client for the server at base (e.g. "http://localhost:8080").
@@ -136,6 +152,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.requestID != "" {
+		req.Header.Set("X-Request-ID", c.requestID)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return err
@@ -160,7 +179,11 @@ func decodeError(resp *http.Response) error {
 	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
 		eb.Error = strings.TrimSpace(string(raw))
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: eb.Error}
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Message:    eb.Error,
+		RequestID:  resp.Header.Get("X-Request-ID"),
+	}
 }
 
 // Evaluate runs one scenario via POST /v2/evaluate.
@@ -271,6 +294,9 @@ func (c *Client) streamOnce(ctx context.Context, id string, cursor int, fn func(
 		c.base+"/v2/jobs/"+url.PathEscape(id)+"/results?cursor="+strconv.Itoa(cursor), nil)
 	if err != nil {
 		return cursor, err
+	}
+	if c.requestID != "" {
+		req.Header.Set("X-Request-ID", c.requestID)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {

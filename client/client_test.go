@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -24,7 +24,7 @@ func newTestServer(t *testing.T, cfg service.EngineConfig) (*httptest.Server, *s
 	t.Helper()
 	engine := service.NewEngine(cfg)
 	jobs := service.NewJobStore(engine, service.JobStoreConfig{})
-	logger := log.New(testWriter{t}, "", 0)
+	logger := slog.New(slog.NewJSONHandler(testWriter{t}, nil))
 	srv := httptest.NewServer(service.NewHandler(engine, jobs, logger))
 	t.Cleanup(func() {
 		srv.Close()
@@ -118,6 +118,36 @@ func TestClientEvaluateRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(apiErr.Message, "unknown strategy") {
 		t.Errorf("error message %q", apiErr.Message)
+	}
+}
+
+// TestClientSurfacesRequestID pins the trace-ID contract: an APIError
+// carries the response's X-Request-ID (server-assigned by default,
+// caller-chosen via WithRequestID), and Error() prints it so even an
+// unwrapped log line identifies the failed request server-side.
+func TestClientSurfacesRequestID(t *testing.T) {
+	srv, _ := newTestServer(t, service.EngineConfig{DefaultRuns: 150, CacheSize: 16})
+	ctx := context.Background()
+	bad := client.Scenario{Strategy: "bogus", NPrimary: 40, P: 0.9}
+
+	_, err := client.New(srv.URL).Evaluate(ctx, bad)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if apiErr.RequestID == "" {
+		t.Error("APIError.RequestID empty, want the server-assigned X-Request-ID")
+	}
+	if !strings.Contains(apiErr.Error(), apiErr.RequestID) {
+		t.Errorf("Error() %q does not mention request ID %q", apiErr.Error(), apiErr.RequestID)
+	}
+
+	_, err = client.New(srv.URL, client.WithRequestID("trace-cli-7")).Evaluate(ctx, bad)
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %v, want *APIError", err)
+	}
+	if apiErr.RequestID != "trace-cli-7" {
+		t.Errorf("APIError.RequestID = %q, want the caller-chosen trace-cli-7", apiErr.RequestID)
 	}
 }
 
@@ -348,7 +378,7 @@ func TestClientResumesAfterKilledConnections(t *testing.T) {
 	engine := service.NewEngine(service.EngineConfig{DefaultRuns: 150, CacheSize: 64})
 	jobs := service.NewJobStore(engine, service.JobStoreConfig{})
 	defer jobs.Close(context.Background())
-	backend := service.NewHandler(engine, jobs, log.New(testWriter{t}, "", 0))
+	backend := service.NewHandler(engine, jobs, slog.New(slog.NewJSONHandler(testWriter{t}, nil)))
 
 	// 700 bytes is roughly two and a half records: every kill lands inside a
 	// record, never on a clean boundary.

@@ -24,6 +24,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +34,24 @@ import (
 
 	"dmfb/internal/service"
 )
+
+// parseLogLevel maps the -log-level flag to a slog level. At debug the
+// kernel additionally emits one span per Monte-Carlo chunk, which is
+// far too chatty for production but joins an access-log line to the
+// simulation work it caused via the shared request/trace ID.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}
 
 func main() {
 	var (
@@ -43,8 +64,34 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", 0, "sweep jobs retained in memory, running and finished combined (0 = 128)")
 		maxResultMB   = flag.Int("max-result-mb", 0, "MiB of encoded job results retained by finished jobs before oldest-first eviction (0 = 64)")
 		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout (requests and running jobs)")
+		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds per-chunk kernel spans)")
+		pprofAddr     = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it private, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-serve:", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// pprof lives on its own listener, never the API address: profiling
+	// endpoints expose internals and must be bindable to localhost only.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *pprofAddr))
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof server failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
 
 	srv := service.NewServer(service.ServerConfig{
 		Addr: *addr,
@@ -55,7 +102,8 @@ func main() {
 			ChunkSize:     *chunkSize,
 			MaxConcurrent: *maxConcurrent,
 		},
-		Jobs: service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
+		Jobs:   service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
+		Logger: logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -31,6 +31,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -90,6 +91,12 @@ func main() {
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dtmb-sweep:", err)
+		// A server-rejected request carries the server's trace ID; print it
+		// separately so the operator can grep the dtmb-serve access log.
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.RequestID != "" {
+			fmt.Fprintf(os.Stderr, "dtmb-sweep: server trace id %s (see the dtmb-serve access log)\n", apiErr.RequestID)
+		}
 		os.Exit(1)
 	}
 

@@ -4,8 +4,7 @@ import (
 	"bytes"
 	"context"
 	"flag"
-	"io"
-	"log"
+	"log/slog"
 	"reflect"
 	"strings"
 	"testing"
@@ -84,7 +83,7 @@ func TestRemoteSweepMatchesLocalBytes(t *testing.T) {
 	srv := service.NewServer(service.ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: service.EngineConfig{DefaultRuns: req.Runs},
-		Logger: log.New(io.Discard, "", 0),
+		Logger: slog.New(slog.DiscardHandler),
 	})
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)

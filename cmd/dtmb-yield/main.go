@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,12 @@ func main() {
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "dtmb-yield:", err)
+		// A server-rejected request carries the server's trace ID; print it
+		// separately so the operator can grep the dtmb-serve access log.
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.RequestID != "" {
+			fmt.Fprintf(os.Stderr, "dtmb-yield: server trace id %s (see the dtmb-serve access log)\n", apiErr.RequestID)
+		}
 		os.Exit(1)
 	}
 

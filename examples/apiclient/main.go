@@ -9,8 +9,8 @@ package main
 import (
 	"context"
 	"fmt"
-	"io"
 	"log"
+	"log/slog"
 	"time"
 
 	"dmfb/client"
@@ -23,7 +23,7 @@ func main() {
 	srv := service.NewServer(service.ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: service.EngineConfig{DefaultRuns: 2000},
-		Logger: log.New(io.Discard, "", 0),
+		Logger: slog.New(slog.DiscardHandler),
 	})
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)

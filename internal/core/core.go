@@ -19,11 +19,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
+	"dmfb/internal/telemetry"
 	"dmfb/internal/yieldsim"
 )
 
@@ -283,6 +285,12 @@ type SimParams struct {
 	Seed      int64
 	Workers   int
 	ChunkSize int
+	// Metrics, when non-nil, is handed to the built simulator so kernel
+	// trial/chunk observations land in the caller's telemetry registry.
+	Metrics *telemetry.KernelMetrics
+	// Logger, when non-nil, gives the kernel a structured logger for
+	// debug-level chunk span events.
+	Logger *slog.Logger
 }
 
 // MonteCarlo builds the simulator for these parameters. It is exported so
@@ -296,6 +304,8 @@ func (sp SimParams) MonteCarlo() *yieldsim.MonteCarlo {
 	}
 	mc.Workers = sp.Workers
 	mc.ChunkSize = sp.ChunkSize
+	mc.Metrics = sp.Metrics
+	mc.Logger = sp.Logger
 	return mc
 }
 

@@ -3,6 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"dmfb/internal/telemetry"
 )
 
 // cacheKey identifies one simulation result. Simulations are deterministic
@@ -34,6 +36,11 @@ type resultCache struct {
 	items    map[cacheKey]*list.Element
 	hits     uint64
 	misses   uint64
+	// hitVec/missVec, when attached via instrument, break the counters down
+	// by cache namespace for /metrics. peek bypasses both, like the plain
+	// counters, so internal double-checks never skew the reported rate.
+	hitVec  *telemetry.CounterVec
+	missVec *telemetry.CounterVec
 }
 
 // cacheEntry is the list-element payload.
@@ -54,6 +61,11 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
+// instrument attaches the per-kind hit/miss counter families.
+func (c *resultCache) instrument(hits, misses *telemetry.CounterVec) {
+	c.hitVec, c.missVec = hits, misses
+}
+
 // Get returns the cached value for k, marking it most recently used.
 func (c *resultCache) Get(k cacheKey) (any, bool) {
 	c.mu.Lock()
@@ -61,9 +73,15 @@ func (c *resultCache) Get(k cacheKey) (any, bool) {
 	el, ok := c.items[k]
 	if !ok {
 		c.misses++
+		if c.missVec != nil {
+			c.missVec.With(k.kind).Inc()
+		}
 		return nil, false
 	}
 	c.hits++
+	if c.hitVec != nil {
+		c.hitVec.With(k.kind).Inc()
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }

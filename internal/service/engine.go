@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/sweep"
+	"dmfb/internal/telemetry"
 )
 
 // EngineConfig tunes the batched simulation engine. The zero value gives
@@ -33,6 +35,14 @@ type EngineConfig struct {
 	// admission bound keeps cores saturated without heavy oversubscription,
 	// while a lone request still uses the whole machine.
 	MaxConcurrent int
+	// Registry receives every engine instrument — kernel, cache, admission,
+	// flight, and job series — and backs GET /metrics. nil leaves the
+	// instruments unregistered (they still count, nothing is exposed).
+	Registry *telemetry.Registry
+	// Logger is handed to every Monte-Carlo kernel the engine builds; at
+	// debug level the kernel emits per-chunk span events carrying the
+	// request's trace ID. nil disables kernel spans.
+	Logger *slog.Logger
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -44,6 +54,9 @@ func (c EngineConfig) withDefaults() EngineConfig {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
 	}
 	return c
 }
@@ -57,6 +70,8 @@ type Engine struct {
 	cache   *resultCache
 	flights *flightGroup
 	sem     chan struct{}
+	metrics *serviceMetrics
+	logger  *slog.Logger
 
 	inFlight      atomic.Int64
 	sharedFlights atomic.Uint64
@@ -67,16 +82,44 @@ type Engine struct {
 // NewEngine builds an engine from the config.
 func NewEngine(cfg EngineConfig) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
 		flights: newFlightGroup(),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		metrics: newServiceMetrics(cfg.Registry),
+		logger:  cfg.Logger,
 		start:   time.Now(),
 	}
+	e.cache.instrument(e.metrics.cacheHits, e.metrics.cacheMisses)
+	// Callback series read the counters the engine already maintains, so
+	// /metrics and /v1/stats report from one source of truth.
+	r := cfg.Registry
+	r.GaugeFunc("dmfb_simulations_in_flight",
+		"Simulations currently executing.",
+		func() float64 { return float64(e.inFlight.Load()) })
+	r.CounterFunc("dmfb_simulations_completed_total",
+		"Simulations actually executed (cache misses that ran).",
+		func() float64 { return float64(e.completed.Load()) })
+	r.CounterFunc("dmfb_flight_shared_total",
+		"Requests that piggybacked on an identical in-flight computation.",
+		func() float64 { return float64(e.sharedFlights.Load()) })
+	r.GaugeFunc("dmfb_cache_entries",
+		"Entries currently held by the result cache.",
+		func() float64 { return float64(e.cache.Len()) })
+	r.Gauge("dmfb_cache_capacity",
+		"Configured result-cache capacity.").Set(int64(cfg.CacheSize))
+	r.GaugeFunc("dmfb_uptime_seconds",
+		"Seconds since the engine was constructed.",
+		func() float64 { return time.Since(e.start).Seconds() })
+	return e
 }
 
-// simParams assembles the core simulation parameters for a request.
+// Registry exposes the engine's metric registry (backing GET /metrics).
+func (e *Engine) Registry() *telemetry.Registry { return e.metrics.registry }
+
+// simParams assembles the core simulation parameters for a request, wiring
+// in the engine's kernel instrumentation and logger.
 func (e *Engine) simParams(runs int, seed int64) core.SimParams {
 	if runs <= 0 {
 		runs = e.cfg.DefaultRuns
@@ -86,17 +129,23 @@ func (e *Engine) simParams(runs int, seed int64) core.SimParams {
 		Seed:      seed,
 		Workers:   e.cfg.Workers,
 		ChunkSize: e.cfg.ChunkSize,
+		Metrics:   e.metrics.kernel,
+		Logger:    e.logger,
 	}
 }
 
-// acquire admits one simulation, waiting for a semaphore slot.
+// acquire admits one simulation, waiting for a semaphore slot. Every
+// admission observes its queue wait (uncontended admissions record ~0), so
+// the wait histogram's count doubles as the admission count.
 func (e *Engine) acquire(ctx context.Context) error {
 	// A pre-cancelled context must not win a race against a free slot.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	start := time.Now()
 	select {
 	case e.sem <- struct{}{}:
+		e.metrics.admissionWait.Observe(time.Since(start).Seconds())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -388,6 +437,14 @@ func (e *Engine) Stats() StatsResponse {
 		SharedFlights: e.sharedFlights.Load(),
 		Completed:     e.completed.Load(),
 		UptimeSeconds: time.Since(e.start).Seconds(),
+
+		KernelTrials:             e.metrics.kernel.Trials.Value(),
+		KernelAllHealthy:         e.metrics.kernel.AllHealthy.Value(),
+		KernelMatcherInvocations: e.metrics.kernel.MatcherInvocations.Value(),
+		KernelChunks:             e.metrics.kernel.ChunkSeconds.Count(),
+
+		AdmissionWaits:            e.metrics.admissionWait.Count(),
+		AdmissionWaitSecondsTotal: e.metrics.admissionWait.Sum(),
 	}
 }
 

@@ -24,6 +24,7 @@ const maxBodyBytes = 1 << 20
 //	GET    /v2/jobs/{id}         job status and progress
 //	GET    /v2/jobs/{id}/results job results as NDJSON, resumable at ?cursor=N
 //	DELETE /v2/jobs/{id}         cancel a job
+//	GET    /metrics              Prometheus text-format exposition
 //	GET    /healthz              liveness probe
 //
 // jobs may be nil, in which case a private store (bound to the process
@@ -52,8 +53,13 @@ func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
 		st.JobsCancelled = jc.Cancelled
 		st.JobsFailed = jc.Failed
 		st.PointsEvaluated = jc.PointsEvaluated
+		st.JobResultBufferBytes = jobs.BufferBytes()
+		st.JobEvictions = jobs.Evictions()
+		st.StreamFlushes = e.metrics.streamFlushes.With("sweep").Value() +
+			e.metrics.streamFlushes.With("job").Value()
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.Handle("GET /metrics", e.Registry().Handler())
 	mux.HandleFunc("POST /v2/evaluate", jsonHandler(func(r *http.Request, req ScenarioRequest) (ScenarioRecord, error) {
 		return e.EvaluateScenario(r.Context(), req)
 	}))
@@ -62,7 +68,7 @@ func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
 		if !ok {
 			return
 		}
-		job, err := jobs.Create(req)
+		job, err := jobs.Create(r.Context(), req)
 		if err != nil {
 			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
 			return
@@ -122,12 +128,14 @@ func jobResultsHandler(jobs *JobStore) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
+		flushes := jobs.engine.metrics.streamFlushes.With("job")
 		_, _ = j.StreamResults(r.Context(), cursor, func(line []byte) error {
 			if _, err := w.Write(line); err != nil {
 				return err
 			}
 			if flusher != nil {
 				flusher.Flush()
+				flushes.Inc()
 			}
 			return nil
 		})
@@ -201,6 +209,7 @@ func sweepHandler(e *Engine) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
+		flushes := e.metrics.streamFlushes.With("sweep")
 		enc := json.NewEncoder(w)
 		err = e.RunSweep(r.Context(), plan, func(rec SweepRecord) error {
 			if err := enc.Encode(rec); err != nil {
@@ -208,6 +217,7 @@ func sweepHandler(e *Engine) http.HandlerFunc {
 			}
 			if flusher != nil {
 				flusher.Flush()
+				flushes.Inc()
 			}
 			return nil
 		})

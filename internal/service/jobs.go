@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dmfb/internal/telemetry"
 )
 
 // ErrJobNotFound tags lookups of unknown job IDs so handlers can map them to
@@ -106,7 +108,8 @@ type JobStore struct {
 	points    atomic.Uint64
 }
 
-// NewJobStore builds a store executing jobs on e.
+// NewJobStore builds a store executing jobs on e, registering the job
+// lifecycle series on e's metric registry.
 func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 128
@@ -115,7 +118,7 @@ func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
 		cfg.MaxResultBytes = 64 << 20
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &JobStore{
+	s := &JobStore{
 		engine:    e,
 		maxJobs:   cfg.MaxJobs,
 		maxBytes:  cfg.MaxResultBytes,
@@ -123,6 +126,30 @@ func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 	}
+	// Callback series read the store's existing accounting at scrape time.
+	// The registry get-or-creates by name, so a second store on the same
+	// engine (e.g. NewMux's private fallback store) leaves the first store's
+	// series in place rather than double-registering.
+	r := e.Registry()
+	r.GaugeFunc("dmfb_jobs_active",
+		"Sweep jobs currently running.",
+		func() float64 { return float64(s.Counters().Active) })
+	r.CounterFunc("dmfb_jobs_completed_total",
+		"Sweep jobs that finished every grid point.",
+		func() float64 { return float64(s.completed.Load()) })
+	r.CounterFunc("dmfb_jobs_cancelled_total",
+		"Sweep jobs cancelled before completion.",
+		func() float64 { return float64(s.cancelled.Load()) })
+	r.CounterFunc("dmfb_jobs_failed_total",
+		"Sweep jobs that stopped on an evaluation error.",
+		func() float64 { return float64(s.failed.Load()) })
+	r.CounterFunc("dmfb_job_points_evaluated_total",
+		"Grid points emitted by sweep jobs (cached or simulated).",
+		func() float64 { return float64(s.points.Load()) })
+	r.GaugeFunc("dmfb_job_result_buffer_bytes",
+		"Encoded NDJSON result bytes held by finished jobs.",
+		func() float64 { return float64(s.BufferBytes()) })
+	return s
 }
 
 // Job is one asynchronous sweep: a validated plan plus an append-only
@@ -151,11 +178,17 @@ type Job struct {
 // Create validates req through the engine's sweep planner, registers a new
 // job, and starts evaluating it in the background. Validation failures
 // surface as ErrInvalidRequest exactly like a synchronous /v1/sweep.
-func (s *JobStore) Create(req SweepRequest) (*Job, error) {
+//
+// The job's execution context derives from the store (so shutdown cancels
+// it), but it inherits the trace ID of the creating request's ctx: kernel
+// chunk spans evaluated by the job name the POST /v2/jobs request that
+// started it, long after that request returned 202.
+func (s *JobStore) Create(ctx context.Context, req SweepRequest) (*Job, error) {
 	plan, err := s.engine.PlanSweep(req)
 	if err != nil {
 		return nil, err
 	}
+	traceID := telemetry.TraceID(ctx)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -166,7 +199,7 @@ func (s *JobStore) Create(req SweepRequest) (*Job, error) {
 		return nil, err
 	}
 	s.seq++
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	jobCtx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
 		id:      fmt.Sprintf("job-%d", s.seq),
 		store:   s,
@@ -181,7 +214,7 @@ func (s *JobStore) Create(req SweepRequest) (*Job, error) {
 	s.order = append(s.order, j.id)
 	s.wg.Add(1)
 	s.mu.Unlock()
-	go j.run(ctx)
+	go j.run(telemetry.WithTraceID(jobCtx, traceID))
 	return j, nil
 }
 
@@ -217,6 +250,7 @@ func (s *JobStore) removeLocked(i int, id string, j *Job) {
 		s.finishedBytes -= j.bytes
 	}
 	j.mu.Unlock()
+	s.engine.metrics.jobEvictions.Inc()
 }
 
 // noteFinished moves a just-terminal job's buffer into the finished-bytes
@@ -264,6 +298,20 @@ func (s *JobStore) Get(id string) (*Job, error) {
 		return nil, fmt.Errorf("%w: %q", ErrJobNotFound, id)
 	}
 	return j, nil
+}
+
+// BufferBytes returns the encoded result bytes currently held by finished
+// jobs (the quantity bounded by MaxResultBytes).
+func (s *JobStore) BufferBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finishedBytes
+}
+
+// Evictions returns the number of finished jobs evicted by the retention
+// and byte bounds over the store's lifetime.
+func (s *JobStore) Evictions() uint64 {
+	return s.engine.metrics.jobEvictions.Value()
 }
 
 // Counters snapshots the store's job accounting.
@@ -340,6 +388,7 @@ func (j *Job) run(ctx context.Context) {
 		j.store.failed.Add(1)
 	}
 	j.finished = time.Now()
+	j.store.engine.metrics.jobDuration.Observe(j.finished.Sub(j.created).Seconds())
 	j.bumpLocked()
 	close(j.done)
 	j.mu.Unlock()

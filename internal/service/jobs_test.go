@@ -186,19 +186,19 @@ func TestJobStoreCapacityAndEviction(t *testing.T) {
 	if err := json.Unmarshal([]byte(slowJobBody), &slowReq); err != nil {
 		t.Fatal(err)
 	}
-	running, err := jobs.Create(slowReq)
+	running, err := jobs.Create(context.Background(), slowReq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The store is full of running jobs: creation must fail with
 	// ErrTooManyJobs, not evict live work.
-	if _, err := jobs.Create(slowReq); !errors.Is(err, ErrTooManyJobs) {
+	if _, err := jobs.Create(context.Background(), slowReq); !errors.Is(err, ErrTooManyJobs) {
 		t.Fatalf("create on full store: %v", err)
 	}
 	running.Cancel()
 	// A finished job is evictable; creation now succeeds and the old job is
 	// gone.
-	replacement, err := jobs.Create(slowReq)
+	replacement, err := jobs.Create(context.Background(), slowReq)
 	if err != nil {
 		t.Fatalf("create after cancel: %v", err)
 	}
@@ -224,7 +224,7 @@ func TestJobStoreByteBoundEvictsOldestFinished(t *testing.T) {
 	defer cancel()
 	var ids []string
 	for i := 0; i < 4; i++ {
-		j, err := jobs.Create(req)
+		j, err := jobs.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +265,7 @@ func TestJobResumeByteIdentityAcrossWorkers(t *testing.T) {
 		{DefaultRuns: 150, Workers: 4, MaxConcurrent: 4},
 	} {
 		jobs := NewJobStore(NewEngine(cfg), JobStoreConfig{})
-		j, err := jobs.Create(req)
+		j, err := jobs.Create(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}

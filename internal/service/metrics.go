@@ -1,0 +1,73 @@
+package service
+
+import (
+	"dmfb/internal/telemetry"
+)
+
+// serviceMetrics bundles every service-layer instrument: the kernel and
+// sweep bundles threaded down into simulations, plus the HTTP, cache,
+// admission, streaming, and job instruments the engine and handlers record
+// directly. It is built once per engine from the configured registry; with a
+// nil registry every instrument still works (unregistered), so no layer
+// needs nil checks.
+type serviceMetrics struct {
+	registry *telemetry.Registry
+
+	kernel *telemetry.KernelMetrics
+	sweep  *telemetry.SweepMetrics
+
+	// httpRequests counts finished requests by status code; httpDuration is
+	// the request wall-time histogram. Both are recorded by the middleware.
+	httpRequests *telemetry.CounterVec
+	httpDuration *telemetry.Histogram
+	// cacheHits/cacheMisses count result-cache lookups by cache namespace
+	// ("yield", "recommend", "hex", ...), recorded inside the cache.
+	cacheHits   *telemetry.CounterVec
+	cacheMisses *telemetry.CounterVec
+	// admissionWait observes how long each admitted simulation waited on the
+	// engine's admission semaphore (uncontended admissions observe ~0).
+	admissionWait *telemetry.Histogram
+	// streamFlushes counts NDJSON records flushed to clients, by stream
+	// ("sweep" for POST /v1/sweep, "job" for GET /v2/jobs/{id}/results).
+	streamFlushes *telemetry.CounterVec
+	// jobDuration observes each sweep job's creation-to-terminal wall time;
+	// jobEvictions counts finished jobs evicted by the store's retention and
+	// byte bounds.
+	jobDuration  *telemetry.Histogram
+	jobEvictions *telemetry.Counter
+}
+
+// jobDurationBuckets spans the realistic job range: sub-second cached grids
+// to multi-minute cold sweeps.
+var jobDurationBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+// newServiceMetrics registers the service instrument set on r (nil r yields
+// working, unregistered instruments).
+func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		registry: r,
+		kernel:   telemetry.NewKernelMetrics(r),
+		sweep:    telemetry.NewSweepMetrics(r),
+		httpRequests: r.CounterVec("dmfb_http_requests_total",
+			"HTTP requests served, by status code.", "code"),
+		httpDuration: r.Histogram("dmfb_http_request_duration_seconds",
+			"Wall time of one HTTP request.", nil),
+		cacheHits: r.CounterVec("dmfb_cache_hits_total",
+			"Result-cache hits, by cache namespace.", "kind"),
+		cacheMisses: r.CounterVec("dmfb_cache_misses_total",
+			"Result-cache misses, by cache namespace.", "kind"),
+		admissionWait: r.Histogram("dmfb_admission_wait_seconds",
+			"Time each admitted simulation waited on the admission semaphore.", nil),
+		streamFlushes: r.CounterVec("dmfb_stream_flushes_total",
+			"NDJSON records flushed to streaming responses, by stream.", "stream"),
+		jobDuration: r.Histogram("dmfb_job_duration_seconds",
+			"Wall time of one sweep job from creation to terminal state.", jobDurationBuckets),
+		jobEvictions: r.Counter("dmfb_job_evictions_total",
+			"Finished jobs evicted to satisfy the store's retention bounds."),
+	}
+	// Materialize both stream children so the family is present on the very
+	// first scrape, before any NDJSON response has flushed.
+	m.streamFlushes.With("sweep")
+	m.streamFlushes.With("job")
+	return m
+}

@@ -3,12 +3,16 @@ package service
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"mime"
 	"net"
 	"net/http"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"dmfb/internal/telemetry"
 )
 
 // ServerConfig configures the HTTP server around an engine.
@@ -19,9 +23,11 @@ type ServerConfig struct {
 	Engine EngineConfig
 	// Jobs tunes the asynchronous sweep-job store.
 	Jobs JobStoreConfig
-	// Logger receives lifecycle messages and the per-request access log;
-	// nil means the standard logger.
-	Logger *log.Logger
+	// Logger receives lifecycle events, the structured access log, and (at
+	// debug level) kernel chunk spans; nil means JSON to stderr at info.
+	// When Engine.Logger is unset it inherits this logger, so one injection
+	// point configures every layer.
+	Logger *slog.Logger
 }
 
 // Server is the dtmb-serve HTTP server: handlers over one Engine and one
@@ -32,7 +38,7 @@ type Server struct {
 	jobs   *JobStore
 	http   *http.Server
 	ln     net.Listener
-	logger *log.Logger
+	logger *slog.Logger
 }
 
 // NewServer builds the server; call Listen then Serve (or combine via Run).
@@ -42,7 +48,10 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.Default()
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if cfg.Engine.Logger == nil {
+		cfg.Engine.Logger = logger
 	}
 	engine := NewEngine(cfg.Engine)
 	jobs := NewJobStore(engine, cfg.Jobs)
@@ -59,15 +68,16 @@ func NewServer(cfg ServerConfig) *Server {
 }
 
 // NewHandler assembles the full serving stack: the v1+v2 mux wrapped in the
-// server middleware (request-ID echo, POST content-type enforcement, and a
-// structured access log line per request). Tests that need the exact
-// production behavior — 415s, X-Request-ID headers — use this instead of the
-// bare NewMux.
-func NewHandler(e *Engine, jobs *JobStore, logger *log.Logger) http.Handler {
+// server middleware (request-ID echo and trace-ID propagation, POST
+// content-type enforcement, HTTP metrics, and a structured access log line
+// per request). Tests that need the exact production behavior — 415s,
+// X-Request-ID headers — use this instead of the bare NewMux. A nil logger
+// discards log output (metrics and trace propagation still apply).
+func NewHandler(e *Engine, jobs *JobStore, logger *slog.Logger) http.Handler {
 	if logger == nil {
-		logger = log.Default()
+		logger = slog.New(slog.DiscardHandler)
 	}
-	return withMiddleware(NewMux(e, jobs), logger)
+	return withMiddleware(NewMux(e, jobs), logger, e.metrics)
 }
 
 // Engine exposes the underlying engine (for stats and tests).
@@ -102,7 +112,8 @@ func (s *Server) Serve() error {
 			return err
 		}
 	}
-	s.logger.Printf("dtmb-serve listening on %s (default runs %d)", s.Addr(), s.engine.DefaultRuns())
+	s.logger.Info("dtmb-serve listening",
+		slog.String("addr", s.Addr()), slog.Int("default_runs", s.engine.DefaultRuns()))
 	if err := s.http.Serve(s.ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
@@ -119,7 +130,7 @@ func (s *Server) Run(ctx context.Context, grace time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.logger.Printf("dtmb-serve shutting down (grace %s)", grace)
+	s.logger.Info("dtmb-serve shutting down", slog.Duration("grace", grace))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := s.Shutdown(shutdownCtx); err != nil {
@@ -181,12 +192,16 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // withMiddleware wraps next with the server-level cross-cutting concerns:
 //
 //   - X-Request-ID: an incoming ID is echoed on the response (and into the
-//     access log); absent one, the server assigns req-<n>.
+//     access log); absent one, the server assigns req-<n>. The ID also
+//     becomes the request context's trace ID (telemetry.WithTraceID), which
+//     every layer below — engine, jobs, kernel chunk spans — reads back, so
+//     one ID connects the access-log line to the kernel work it caused.
 //   - Content-Type enforcement: every POST must declare application/json
 //     (with optional parameters, e.g. a charset) or is rejected with 415
 //     before its body is read.
+//   - HTTP metrics: request count by status plus a duration histogram.
 //   - Access log: one structured line per request on logger.
-func withMiddleware(next http.Handler, logger *log.Logger) http.Handler {
+func withMiddleware(next http.Handler, logger *slog.Logger, m *serviceMetrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
@@ -194,18 +209,29 @@ func withMiddleware(next http.Handler, logger *log.Logger) http.Handler {
 			id = fmt.Sprintf("req-%d", requestSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(telemetry.WithTraceID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
+		finish := func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			m.httpRequests.With(strconv.Itoa(status)).Inc()
+			m.httpDuration.Observe(elapsed.Seconds())
+			logAccess(logger, r, status, sw.bytes, id, elapsed)
+		}
 		if r.Method == http.MethodPost {
 			ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 			if err != nil || ct != "application/json" {
 				writeJSON(sw, http.StatusUnsupportedMediaType,
 					errorBody{Error: "Content-Type must be application/json"})
-				logAccess(logger, r, sw, id, start)
+				finish()
 				return
 			}
 		}
 		next.ServeHTTP(sw, r)
-		logAccess(logger, r, sw, id, start)
+		finish()
 	})
 }
 
@@ -227,15 +253,16 @@ func sanitizeRequestID(id string) string {
 }
 
 // logAccess emits the structured access log line for one finished request.
-func logAccess(logger *log.Logger, r *http.Request, sw *statusWriter, id string, start time.Time) {
-	status := sw.status
-	if status == 0 {
-		status = http.StatusOK
-	}
-	// The path is client-controlled and may contain percent-decoded
-	// newlines or spaces; %q keeps it one forgery-proof token, like the
-	// sanitized request ID.
-	logger.Printf("http_access method=%s path=%q status=%d bytes=%d duration_ms=%.3f request_id=%s remote=%s",
-		r.Method, r.URL.Path, status, sw.bytes,
-		float64(time.Since(start).Microseconds())/1000, id, r.RemoteAddr)
+// The path is client-controlled; the slog handler's encoding keeps it one
+// forgery-proof field, like the sanitized request ID.
+func logAccess(logger *slog.Logger, r *http.Request, status, bytes int, id string, elapsed time.Duration) {
+	logger.LogAttrs(r.Context(), slog.LevelInfo, "http_access",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Int("bytes", bytes),
+		slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+		slog.String("request_id", id),
+		slog.String("remote", r.RemoteAddr),
+	)
 }

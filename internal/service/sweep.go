@@ -181,16 +181,19 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest, emit func(SweepRec
 
 // sweepEval adapts the engine's scenario core to the sweep runner: every
 // grid point is evaluated exactly like a /v2/evaluate of its scenario, then
-// stamped with its grid index.
+// stamped with its grid index. Evaluations are timed into the sweep metric
+// bundle by strategy × defect model (cache hits included — the histogram
+// answers "how long does a point take to serve", and cheap cached points are
+// part of that answer).
 func (e *Engine) sweepEval(sp core.SimParams) sweep.EvalFunc {
-	return func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
+	return sweep.Instrumented(func(ctx context.Context, pt sweep.Point) (sweep.PointResult, error) {
 		res, err := e.evalScenario(ctx, pt.Scenario, sp)
 		if err != nil {
 			return sweep.PointResult{}, err
 		}
 		res.Index = pt.Index
 		return res, nil
-	}
+	}, e.metrics.sweep)
 }
 
 // sweepRecord converts a point result to the wire type.

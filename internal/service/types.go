@@ -294,4 +294,25 @@ type StatsResponse struct {
 	JobsFailed    uint64 `json:"jobs_failed"`
 	// PointsEvaluated counts grid points emitted by jobs (cached or not).
 	PointsEvaluated uint64 `json:"points_evaluated"`
+
+	// Kernel counters aggregate Monte-Carlo work across every endpoint:
+	// total trials, the all-healthy fast-path vs matcher-invocation split,
+	// and the number of executed kernel chunks.
+	KernelTrials             uint64 `json:"kernel_trials"`
+	KernelAllHealthy         uint64 `json:"kernel_all_healthy"`
+	KernelMatcherInvocations uint64 `json:"kernel_matcher_invocations"`
+	KernelChunks             uint64 `json:"kernel_chunks"`
+
+	// AdmissionWaits counts admissions through the engine's semaphore;
+	// AdmissionWaitSecondsTotal sums the time they spent queued.
+	AdmissionWaits            uint64  `json:"admission_waits"`
+	AdmissionWaitSecondsTotal float64 `json:"admission_wait_seconds_total"`
+
+	// JobResultBufferBytes is the encoded NDJSON held by finished jobs;
+	// JobEvictions counts jobs evicted by the store's retention bounds.
+	JobResultBufferBytes int64  `json:"job_result_buffer_bytes"`
+	JobEvictions         uint64 `json:"job_evictions"`
+	// StreamFlushes counts NDJSON records flushed across the sweep and job
+	// result streams.
+	StreamFlushes uint64 `json:"stream_flushes"`
 }

@@ -1,0 +1,28 @@
+package sweep
+
+import (
+	"context"
+	"time"
+
+	"dmfb/internal/telemetry"
+)
+
+// Instrumented wraps an EvalFunc so every grid-point evaluation is timed
+// into m, labelled by the point's strategy and defect model. Failed
+// evaluations are not recorded — the histogram answers "how long does a
+// point of this kind take", and an aborted kernel run answers a different
+// question. A nil m returns eval unchanged, so the direct (unmetered)
+// evaluation path pays nothing.
+func Instrumented(eval EvalFunc, m *telemetry.SweepMetrics) EvalFunc {
+	if m == nil {
+		return eval
+	}
+	return func(ctx context.Context, pt Point) (PointResult, error) {
+		start := time.Now()
+		res, err := eval(ctx, pt)
+		if err == nil {
+			m.ObservePoint(string(pt.Strategy), string(pt.DefectModel), time.Since(start).Seconds())
+		}
+		return res, err
+	}
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its rendered label
+// signature (as written, without re-canonicalization), and its value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Exposition is the parsed form of one Prometheus text-format payload.
+type Exposition struct {
+	// Types maps family name → declared type ("counter", "gauge",
+	// "histogram", ...).
+	Types map[string]string
+	// Samples lists every sample line in input order.
+	Samples []Sample
+}
+
+// Families returns the set of base family names that have at least one
+// sample, with histogram suffixes (_bucket/_sum/_count) folded onto their
+// declared family.
+func (e *Exposition) Families() map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range e.Samples {
+		name := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && e.Types[base] == "histogram" {
+				name = base
+				break
+			}
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// ParseExposition validates a Prometheus text-format payload line by line —
+// a lightweight parser for tests and the CI exposition check, not a full
+// client. It enforces:
+//
+//   - every non-empty line is a comment (# HELP / # TYPE) or a sample,
+//   - sample names and label keys are legal, label values are quoted,
+//   - values parse as Go floats (including +Inf/NaN),
+//   - a sample's family, when typed, was declared before its first sample,
+//   - histogram families expose _bucket lines with an le label, a _sum,
+//     and a _count whose value equals the +Inf bucket.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	type histState struct {
+		infBucket  float64
+		haveInf    bool
+		count      float64
+		haveCount  bool
+		haveSum    bool
+		haveBucket bool
+	}
+	hists := make(map[string]*histState)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, fields[2], fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return nil, fmt.Errorf("line %d: TYPE line needs a type", lineNo)
+					}
+					exp.Types[fields[2]] = strings.TrimSpace(fields[3])
+				}
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, sample)
+
+		// Histogram bookkeeping keyed by (family, non-le labels).
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample.Name, suffix)
+			if base == sample.Name || exp.Types[base] != "histogram" {
+				continue
+			}
+			key := base + "{" + stripLabel(sample.Labels, "le") + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				st.haveBucket = true
+				le := labelValue(sample.Labels, "le")
+				if le == "" {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				if le == "+Inf" {
+					st.infBucket, st.haveInf = sample.Value, true
+				}
+			case "_sum":
+				st.haveSum = true
+			case "_count":
+				st.count, st.haveCount = sample.Value, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key, st := range hists {
+		if !st.haveBucket || !st.haveInf || !st.haveSum || !st.haveCount {
+			return nil, fmt.Errorf("histogram %s missing bucket/+Inf/sum/count lines", key)
+		}
+		if st.count != st.infBucket {
+			return nil, fmt.Errorf("histogram %s count %v != +Inf bucket %v", key, st.count, st.infBucket)
+		}
+	}
+	return exp, nil
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	name := line
+	labels := ""
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line[i:], '}')
+		if j < 0 {
+			return Sample{}, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = line[i+1 : i+j]
+		rest = strings.TrimSpace(line[i+j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return Sample{}, fmt.Errorf("sample line %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validName(name) {
+		return Sample{}, fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := validateLabels(labels); err != nil {
+		return Sample{}, err
+	}
+	valueField := strings.Fields(rest)
+	if len(valueField) == 0 || len(valueField) > 2 {
+		return Sample{}, fmt.Errorf("sample line %q has malformed value", line)
+	}
+	v, err := strconv.ParseFloat(valueField[0], 64)
+	if err != nil {
+		return Sample{}, fmt.Errorf("value %q: %w", valueField[0], err)
+	}
+	return Sample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// validateLabels checks a rendered label body: k="v" pairs, comma
+// separated, keys legal, values quoted.
+func validateLabels(labels string) error {
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("label pair %q has no '='", pair)
+		}
+		if !validName(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label value %s not quoted", v)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits a rendered label body on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, labels[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, labels[start:])
+	return out
+}
+
+// labelValue extracts one label's (unescaped-as-written) value from a
+// rendered label body, or "".
+func labelValue(labels, key string) string {
+	for _, pair := range splitLabelPairs(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if ok && k == key && len(v) >= 2 {
+			return v[1 : len(v)-1]
+		}
+	}
+	return ""
+}
+
+// stripLabel removes one key's pair from a rendered label body.
+func stripLabel(labels, key string) string {
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		if k, _, ok := strings.Cut(pair, "="); ok && k == key {
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ",")
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+// Metric bundles: pre-registered instrument sets for the subsystems whose
+// hot paths cannot afford registry lookups. Each bundle is built once
+// (typically at engine construction) and handed down as a pointer; a nil
+// bundle disables that subsystem's instrumentation entirely, which is what
+// keeps the library usable — and the kernel benchmark numbers honest —
+// outside the service.
+
+// KernelMetrics is the Monte-Carlo kernel's instrument set. The kernel
+// flushes per-worker probe counts into these once per chunk (never per
+// trial), so steady-state trials stay allocation- and atomic-free.
+type KernelMetrics struct {
+	// Trials counts completed Monte-Carlo trials across all estimates.
+	Trials *Counter
+	// AllHealthy counts trials whose fault draw came up empty, taking the
+	// all-healthy fast path that skips the matcher.
+	AllHealthy *Counter
+	// MatcherInvocations counts trials that reached a reconfiguration
+	// feasibility decision (matching or column-cascade analysis).
+	MatcherInvocations *Counter
+	// ChunkSeconds observes the wall time of each completed kernel chunk;
+	// its Count is the number of chunks executed.
+	ChunkSeconds *Histogram
+}
+
+// NewKernelMetrics registers the kernel instrument set on r (nil r yields
+// working, unregistered instruments).
+func NewKernelMetrics(r *Registry) *KernelMetrics {
+	return &KernelMetrics{
+		Trials:             r.Counter("dmfb_kernel_trials_total", "Monte-Carlo trials completed."),
+		AllHealthy:         r.Counter("dmfb_kernel_trials_all_healthy_total", "Trials that drew zero faults and skipped the matcher."),
+		MatcherInvocations: r.Counter("dmfb_kernel_matcher_invocations_total", "Trials that reached a reconfiguration feasibility decision."),
+		ChunkSeconds:       r.Histogram("dmfb_kernel_chunk_duration_seconds", "Wall time of one Monte-Carlo kernel chunk.", nil),
+	}
+}
+
+// SweepMetrics times per-point sweep evaluation by strategy × defect model.
+type SweepMetrics struct {
+	points *HistogramVec
+}
+
+// NewSweepMetrics registers the sweep instrument set on r.
+func NewSweepMetrics(r *Registry) *SweepMetrics {
+	return &SweepMetrics{
+		points: r.HistogramVec("dmfb_sweep_point_duration_seconds",
+			"Wall time of one sweep grid-point evaluation.", nil,
+			"strategy", "defect_model"),
+	}
+}
+
+// ObservePoint records one point evaluation. The underlying vec lookup is
+// mutex-guarded; sweep points are millisecond-scale, so per-point lookup
+// cost is noise.
+func (m *SweepMetrics) ObservePoint(strategy, defectModel string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.points.With(strategy, defectModel).Observe(seconds)
+}

@@ -23,7 +23,8 @@ import (
 // its scratch (fault set, session, injector pool) with a few iterations.
 func trialForTest(t *testing.T, factory trialFactory, in *defects.Injector) trialFunc {
 	t.Helper()
-	trial, err := factory()
+	var probe kernelProbe
+	trial, err := factory(&probe)
 	if err != nil {
 		t.Fatal(err)
 	}

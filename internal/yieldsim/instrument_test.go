@@ -1,0 +1,143 @@
+package yieldsim
+
+// Kernel instrumentation tests: attaching a telemetry bundle and a debug
+// logger must not change a single estimate bit (the chunk-seeded determinism
+// contract), must account for every trial exactly once, and must emit chunk
+// spans carrying the caller's trace ID.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+
+	"dmfb/internal/layout"
+	"dmfb/internal/telemetry"
+)
+
+// TestInstrumentationDoesNotPerturbEstimate pins that wiring Metrics and a
+// debug Logger into the kernel leaves the estimate bit-identical: the
+// instrumentation observes the trial stream, it never participates in it.
+func TestInstrumentationDoesNotPerturbEstimate(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewMonteCarlo(21)
+	plain.Runs = 3000
+	plain.Workers = 4
+	want, err := plain.Yield(arr, 0.94)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := telemetry.NewRegistry()
+	inst := NewMonteCarlo(21)
+	inst.Runs = 3000
+	inst.Workers = 4
+	inst.Metrics = telemetry.NewKernelMetrics(r)
+	inst.Logger = slog.New(slog.NewJSONHandler(&bytes.Buffer{}, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	got, err := inst.Yield(arr, 0.94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("instrumented estimate %+v != plain %+v", got, want)
+	}
+}
+
+// TestKernelMetricsAccounting checks the bookkeeping identities: every trial
+// is counted once, and the all-healthy/matcher split partitions the trials
+// for the Bernoulli path.
+func TestKernelMetricsAccounting(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := telemetry.NewRegistry()
+	mc := NewMonteCarlo(5)
+	mc.Runs = 2500
+	mc.ChunkSize = 300
+	mc.Metrics = telemetry.NewKernelMetrics(r)
+	if _, err := mc.Yield(arr, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	m := mc.Metrics
+	if got := m.Trials.Value(); got != 2500 {
+		t.Errorf("trials counter = %d, want 2500", got)
+	}
+	if sum := m.AllHealthy.Value() + m.MatcherInvocations.Value(); sum != 2500 {
+		t.Errorf("all_healthy %d + matcher %d != 2500 trials",
+			m.AllHealthy.Value(), m.MatcherInvocations.Value())
+	}
+	wantChunks := uint64((2500 + 299) / 300)
+	if got := m.ChunkSeconds.Count(); got != wantChunks {
+		t.Errorf("chunk histogram count = %d, want %d", got, wantChunks)
+	}
+}
+
+// TestKernelChunkSpansCarryTraceID runs an estimate with a debug logger and
+// a trace ID in the context, then checks every kernel_chunk span names that
+// trace ID — the property the service relies on to tie a slow request to
+// its kernel work.
+func TestKernelChunkSpansCarryTraceID(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mc := NewMonteCarlo(3)
+	mc.Runs = 600
+	mc.ChunkSize = 200
+	mc.Workers = 1
+	mc.Logger = slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	ctx := telemetry.WithTraceID(context.Background(), "trace-xyz")
+	if _, err := mc.YieldContext(ctx, arr, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	spans := 0
+	for dec.More() {
+		var ev struct {
+			Msg     string `json:"msg"`
+			TraceID string `json:"trace_id"`
+			Trials  int    `json:"trials"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Msg != "kernel_chunk" {
+			continue
+		}
+		spans++
+		if ev.TraceID != "trace-xyz" {
+			t.Errorf("span trace_id = %q, want trace-xyz", ev.TraceID)
+		}
+		if ev.Trials <= 0 {
+			t.Errorf("span trials = %d, want > 0", ev.Trials)
+		}
+	}
+	if spans != 3 {
+		t.Errorf("kernel_chunk spans = %d, want 3 (600 runs / 200 chunk)", spans)
+	}
+}
+
+// TestInfoLevelLoggerEmitsNoSpans pins the cost model: a logger at info
+// level attached to the kernel produces zero output.
+func TestInfoLevelLoggerEmitsNoSpans(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	mc := NewMonteCarlo(3)
+	mc.Runs = 400
+	mc.Logger = slog.New(slog.NewJSONHandler(&buf, nil)) // info default
+	if _, err := mc.Yield(arr, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("info-level logger received kernel output: %q", buf.String())
+	}
+}

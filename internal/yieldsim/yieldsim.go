@@ -24,15 +24,18 @@ package yieldsim
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
 	"dmfb/internal/reconfig"
 	"dmfb/internal/sqgrid"
 	"dmfb/internal/stats"
+	"dmfb/internal/telemetry"
 )
 
 // NoRedundancy returns the yield p^n of an array whose n working cells have
@@ -118,6 +121,19 @@ type MonteCarlo struct {
 	// per-cell scan (still deterministic in Seed/Runs/ChunkSize); leave it
 	// off where golden fixtures pin the default order.
 	FastSampling bool
+	// Metrics, when non-nil, receives kernel observations: trials, the
+	// all-healthy fast-path and matcher-invocation split, and per-chunk
+	// wall time. Workers accumulate in plain per-worker probes and flush
+	// once per chunk, so the steady-state trial path stays allocation- and
+	// atomic-free (pinned by the allocs regression tests). nil disables
+	// instrumentation entirely.
+	Metrics *telemetry.KernelMetrics
+	// Logger, when non-nil and enabled at debug, emits one kernel_chunk
+	// span event per completed chunk carrying the trace ID found in the
+	// run's context (telemetry.TraceID) — the link between a slow HTTP
+	// request and the exact chunks that served it. Info and above emit
+	// nothing, so production logging costs one Enabled check per estimate.
+	Logger *slog.Logger
 }
 
 // NewMonteCarlo returns a simulator with the paper's defaults (10000 runs).
@@ -147,10 +163,23 @@ func (mc *MonteCarlo) chunkSize() int {
 // steady-state trial path performs no heap allocation.
 type trialFunc func(in *defects.Injector) (bool, error)
 
+// kernelProbe accumulates one worker's trial-path observations in plain
+// (non-atomic) fields. Each worker owns exactly one probe; the run loop
+// flushes and zeroes it at every chunk boundary, so trials pay a plain
+// increment and the shared Metrics counters see one atomic add per chunk.
+type kernelProbe struct {
+	// allHealthy counts trials whose fault draw came up empty (the fast
+	// path that never consults the matcher or cascade analysis).
+	allHealthy uint64
+	// matcher counts trials that reached a feasibility decision.
+	matcher uint64
+}
+
 // trialFactory builds one worker's trial closure together with the scratch
-// it owns. run calls it once per worker; workers share nothing but
-// read-only inputs (the array, masks, model parameters).
-type trialFactory func() (trialFunc, error)
+// it owns, wiring the worker's probe into the closure. run calls it once
+// per worker; workers share nothing but read-only inputs (the array,
+// masks, model parameters).
+type trialFactory func(probe *kernelProbe) (trialFunc, error)
 
 // run executes mc.Runs independent trials and counts successes. The runs are
 // split into fixed-size chunks, each seeded from its own PRNG stream derived
@@ -192,6 +221,14 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 		}
 	}()
 
+	// Instrumentation is resolved once per estimate: metrics flush per
+	// chunk; span events additionally require a logger with debug enabled.
+	// The trace ID travels in ctx from the HTTP middleware (or any other
+	// caller) down to here, so a chunk span names the request it served.
+	spanLog := mc.Logger != nil && mc.Logger.Enabled(ctx, slog.LevelDebug)
+	instrumented := mc.Metrics != nil || spanLog
+	traceID := telemetry.TraceID(ctx)
+
 	var wg sync.WaitGroup
 	successCh := make(chan int, workers)
 	errCh := make(chan error, workers)
@@ -199,7 +236,8 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			trial, err := factory()
+			var probe kernelProbe
+			trial, err := factory(&probe)
 			if err != nil {
 				errCh <- err
 				cancel()
@@ -216,6 +254,11 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 					runs = mc.Runs - c*chunk
 				}
 				in.Reseed(seeds[c])
+				var chunkStart time.Time
+				if instrumented {
+					chunkStart = time.Now()
+				}
+				chunkSuccesses := 0
 				for i := 0; i < runs; i++ {
 					ok, err := trial(in)
 					if err != nil {
@@ -224,8 +267,30 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 						return
 					}
 					if ok {
-						successes++
+						chunkSuccesses++
 					}
+				}
+				successes += chunkSuccesses
+				if instrumented {
+					elapsed := time.Since(chunkStart)
+					if m := mc.Metrics; m != nil {
+						m.Trials.Add(uint64(runs))
+						m.AllHealthy.Add(probe.allHealthy)
+						m.MatcherInvocations.Add(probe.matcher)
+						m.ChunkSeconds.Observe(elapsed.Seconds())
+					}
+					if spanLog {
+						mc.Logger.LogAttrs(runCtx, slog.LevelDebug, "kernel_chunk",
+							slog.String("trace_id", traceID),
+							slog.Int("chunk", c),
+							slog.Int("trials", runs),
+							slog.Int("successes", chunkSuccesses),
+							slog.Uint64("all_healthy", probe.allHealthy),
+							slog.Uint64("matcher", probe.matcher),
+							slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+						)
+					}
+					probe.allHealthy, probe.matcher = 0, 0
 				}
 			}
 			successCh <- successes
@@ -298,7 +363,7 @@ func (mc *MonteCarlo) YieldContext(ctx context.Context, arr *layout.Array, p flo
 func (mc *MonteCarlo) yieldTrials(arr *layout.Array, p float64) trialFactory {
 	sample := mc.bernoulliSampler()
 	opts := mc.sessionOptions()
-	return func() (trialFunc, error) {
+	return func(probe *kernelProbe) (trialFunc, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
 			return nil, err
@@ -306,6 +371,11 @@ func (mc *MonteCarlo) yieldTrials(arr *layout.Array, p float64) trialFactory {
 		fs := defects.NewFaultSet(arr.NumCells())
 		return func(in *defects.Injector) (bool, error) {
 			fs = sample(in, arr, p, fs)
+			if fs.Count() == 0 {
+				probe.allHealthy++
+			} else {
+				probe.matcher++
+			}
 			return sess.Feasible(fs)
 		}, nil
 	}
@@ -330,7 +400,7 @@ func (mc *MonteCarlo) YieldFixedFaultsContext(ctx context.Context, arr *layout.A
 // faults per draw (from the injector's cached pool), then a session verdict.
 func (mc *MonteCarlo) fixedFaultsTrials(arr *layout.Array, m int, domain defects.Domain) trialFactory {
 	opts := mc.sessionOptions()
-	return func() (trialFunc, error) {
+	return func(probe *kernelProbe) (trialFunc, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
 			return nil, err
@@ -342,6 +412,11 @@ func (mc *MonteCarlo) fixedFaultsTrials(arr *layout.Array, m int, domain defects
 				return false, err
 			}
 			fs = next
+			if fs.Count() == 0 {
+				probe.allHealthy++
+			} else {
+				probe.matcher++
+			}
 			return sess.Feasible(fs)
 		}, nil
 	}
@@ -366,10 +441,13 @@ func (mc *MonteCarlo) NoRedundancyMCContext(ctx context.Context, arr *layout.Arr
 // faulty-primary list.
 func (mc *MonteCarlo) noRedundancyTrials(arr *layout.Array, p float64) trialFactory {
 	sample := mc.bernoulliSampler()
-	return func() (trialFunc, error) {
+	return func(probe *kernelProbe) (trialFunc, error) {
 		fs := defects.NewFaultSet(arr.NumCells())
 		return func(in *defects.Injector) (bool, error) {
 			fs = sample(in, arr, p, fs)
+			if fs.Count() == 0 {
+				probe.allHealthy++
+			}
 			return !fs.AnyFaultyPrimary(arr), nil
 		}, nil
 	}
@@ -470,7 +548,7 @@ func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defect
 	}
 	if model.Clustered {
 		cp := model.Params(p, n)
-		return func() (trialFunc, error) {
+		return func(probe *kernelProbe) (trialFunc, error) {
 			fs := defects.NewFaultSet(n)
 			return func(in *defects.Injector) (bool, error) {
 				next, _, err := in.ClusteredGrid(w, h, cp, fs)
@@ -478,15 +556,25 @@ func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defect
 					return false, err
 				}
 				fs = next
+				if fs.Count() == 0 {
+					probe.allHealthy++
+				} else {
+					probe.matcher++
+				}
 				return cascadesRepairAll(fs), nil
 			}, nil
 		}, nil
 	}
 	sample := mc.bernoulliSamplerN()
-	return func() (trialFunc, error) {
+	return func(probe *kernelProbe) (trialFunc, error) {
 		fs := defects.NewFaultSet(n)
 		return func(in *defects.Injector) (bool, error) {
 			fs = sample(in, n, p, fs)
+			if fs.Count() == 0 {
+				probe.allHealthy++
+			} else {
+				probe.matcher++
+			}
 			return cascadesRepairAll(fs), nil
 		}, nil
 	}, nil
@@ -516,7 +604,7 @@ func (mc *MonteCarlo) YieldModelContext(ctx context.Context, arr *layout.Array, 
 // center-seeded cluster draw, then a session verdict.
 func (mc *MonteCarlo) clusteredTrials(arr *layout.Array, cp defects.ClusterParams) trialFactory {
 	opts := mc.sessionOptions()
-	return func() (trialFunc, error) {
+	return func(probe *kernelProbe) (trialFunc, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
 			return nil, err
@@ -528,6 +616,11 @@ func (mc *MonteCarlo) clusteredTrials(arr *layout.Array, cp defects.ClusterParam
 				return false, err
 			}
 			fs = next
+			if fs.Count() == 0 {
+				probe.allHealthy++
+			} else {
+				probe.matcher++
+			}
 			return sess.Feasible(fs)
 		}, nil
 	}

@@ -659,7 +659,7 @@ func TestShiftedYieldMatchesShiftSessionReference(t *testing.T) {
 		numCells := pl.Grid.NumCells()
 		ref := NewMonteCarlo(123)
 		ref.Runs = 800
-		want, err := ref.run(context.Background(), func() (trialFunc, error) {
+		want, err := ref.run(context.Background(), func(_ *kernelProbe) (trialFunc, error) {
 			fs := defects.NewFaultSet(numCells)
 			return func(in *defects.Injector) (bool, error) {
 				fs = in.BernoulliN(numCells, 0.9, fs)
