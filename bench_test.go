@@ -276,6 +276,25 @@ func BenchmarkHexYieldKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkHexYieldKernelHighSurvival measures the same hex kernel at
+// p = 0.999, the near-perfect-process regime where most faulty draws repeat
+// a handful of 1–2 fault patterns — the workload the per-worker feasibility
+// memo targets (hit rate approaches 100%, vs near zero at p = 0.95).
+func BenchmarkHexYieldKernelHighSurvival(b *testing.B) {
+	arr, err := layout.BuildHexagonWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := yieldsim.NewMonteCarlo(1)
+	mc.Runs = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.YieldModelContext(context.Background(), arr, 0.999, defects.Model{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkClusteredDefectKernel measures the clustered-defect yield kernel
 // (clustered injection + local reconfiguration) at the same workload as
 // BenchmarkHexYieldKernel's independent model.

@@ -1,0 +1,240 @@
+package defects
+
+import (
+	"math"
+	"math/bits"
+
+	"dmfb/internal/hexgrid"
+	"dmfb/internal/layout"
+)
+
+// WordTrials is the number of Monte-Carlo trials one TrialBatch packs: one
+// trial per bit of a machine word.
+const WordTrials = 64
+
+// TrialBatch packs up to 64 fault-injection trials into machine words.
+// During injection the batch is column-major — cols[cell] holds one bit per
+// trial — so marking a fault is one OR, and the all-healthy screen over the
+// whole batch is a single word (Occupied): trials whose bit is clear drew no
+// fault anywhere and never need a FaultSet, a matcher, or even a transpose.
+// For the trials that did draw faults, Finalize transposes the packed bits
+// into row-major per-trial bitsets (Row), the same word layout as
+// FaultSet.Words, ready for word-parallel feasibility checks and
+// memoization keys.
+//
+// A TrialBatch is reused across batches (Reset) and is not safe for
+// concurrent use; give each worker its own.
+type TrialBatch struct {
+	numCells int
+	nWords   int // words per trial row: ceil(numCells/64)
+	n        int // trials in the current batch, 1..WordTrials
+	occupied uint64
+	cols     []uint64 // cols[i] bit t = cell i faulty in trial t
+	rows     []uint64 // after Finalize: rows[t*nWords+w], trial t's fault words
+}
+
+// NewTrialBatch returns a batch sized for arrays of numCells cells. The
+// column and row planes share one backing allocation.
+func NewTrialBatch(numCells int) *TrialBatch {
+	nWords := (numCells + 63) / 64
+	buf := make([]uint64, numCells+WordTrials*nWords)
+	return &TrialBatch{
+		numCells: numCells,
+		nWords:   nWords,
+		cols:     buf[:numCells:numCells],
+		rows:     buf[numCells:],
+	}
+}
+
+// NumCells returns the array size the batch was built for.
+func (b *TrialBatch) NumCells() int { return b.numCells }
+
+// N returns the number of trials in the current batch.
+func (b *TrialBatch) N() int { return b.n }
+
+// Reset begins a new batch of n trials (1 ≤ n ≤ WordTrials), clearing every
+// column word.
+func (b *TrialBatch) Reset(n int) {
+	if n < 1 || n > WordTrials {
+		panic("defects: batch size out of range")
+	}
+	b.n = n
+	b.occupied = 0
+	for i := range b.cols {
+		b.cols[i] = 0
+	}
+}
+
+// Mark marks the cell faulty in trial t of the current batch.
+func (b *TrialBatch) Mark(t int, id layout.CellID) {
+	bit := uint64(1) << uint(t)
+	b.cols[id] |= bit
+	b.occupied |= bit
+}
+
+// Occupied returns the trial mask of the batch: bit t is set iff trial t
+// drew at least one fault. Its zero bits (below N) are the all-healthy
+// trials, screened without ever materializing their fault sets.
+func (b *TrialBatch) Occupied() uint64 { return b.occupied }
+
+// AllHealthy returns the number of trials in the batch that drew no fault.
+func (b *TrialBatch) AllHealthy() int { return b.n - bits.OnesCount64(b.occupied) }
+
+// Finalize transposes the packed columns into per-trial row bitsets; call it
+// once per batch before Row. A batch with no occupied trial needs no
+// transpose and Finalize returns immediately.
+func (b *TrialBatch) Finalize() {
+	if b.occupied == 0 {
+		return
+	}
+	var tile [WordTrials]uint64
+	for w := 0; w < b.nWords; w++ {
+		base := w << 6
+		span := b.numCells - base
+		if span > WordTrials {
+			span = WordTrials
+		}
+		copy(tile[:span], b.cols[base:base+span])
+		for i := span; i < WordTrials; i++ {
+			tile[i] = 0
+		}
+		transpose64(&tile)
+		for t := 0; t < b.n; t++ {
+			b.rows[t*b.nWords+w] = tile[t]
+		}
+	}
+}
+
+// Row returns trial t's fault bitset in FaultSet.Words layout: bit i of
+// Row(t)[i/64] is set iff cell i is faulty in trial t. Valid after Finalize
+// and until the next Reset; callers must treat it as read-only.
+func (b *TrialBatch) Row(t int) []uint64 {
+	return b.rows[t*b.nWords : (t+1)*b.nWords : (t+1)*b.nWords]
+}
+
+// transpose64 transposes the 64×64 bit matrix a in place, in plain (i, j)
+// coordinates: bit j of a[i] moves to bit i of a[j]. It is the
+// block-recursive word transpose of Hacker's Delight §7-3, log₂64 rounds of
+// masked block swaps, ~250 word ops for the 4096-bit matrix.
+func transpose64(a *[WordTrials]uint64) {
+	j := 32
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < WordTrials; k = (k + j + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & m
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		j >>= 1
+		m ^= m << uint(j)
+	}
+}
+
+// BernoulliBatch fills the batch with n independent Bernoulli trials over
+// numCells cells at survival probability p: cell i of trial t is marked
+// faulty with probability q = 1−p. The PRNG draw order is exactly that of n
+// successive BernoulliN calls — trial-major, cell-minor — so a batched
+// estimate consumes the identical random stream as the scalar path and
+// reproduces it bit for bit (the property the differential suite and the
+// golden fixtures pin). The batch must be sized for numCells.
+func (in *Injector) BernoulliBatch(numCells int, p float64, n int, b *TrialBatch) {
+	b.Reset(n)
+	q := 1 - p
+	if q <= 0 {
+		// NaN falls through like BernoulliN: the comparisons below never
+		// fire, but the draws are still consumed.
+		return
+	}
+	for t := 0; t < n; t++ {
+		bit := uint64(1) << uint(t)
+		for i := 0; i < numCells; i++ {
+			if in.rng.Float64() < q {
+				b.cols[i] |= bit
+				b.occupied |= bit
+			}
+		}
+	}
+}
+
+// BernoulliGeomBatch is BernoulliBatch with geometric skip-sampling, the
+// batched form of BernoulliGeomN: same marginal fault distribution,
+// O(expected faults) PRNG draws per trial, and draw-for-draw parity with n
+// successive BernoulliGeomN calls.
+func (in *Injector) BernoulliGeomBatch(numCells int, p float64, n int, b *TrialBatch) {
+	b.Reset(n)
+	q := 1 - p
+	if math.IsNaN(q) || q <= 0 {
+		return
+	}
+	if q >= 1 {
+		mask := uint64(1)<<uint(n) - 1
+		if n == WordTrials {
+			mask = ^uint64(0)
+		}
+		for i := 0; i < numCells; i++ {
+			b.cols[i] = mask
+		}
+		if numCells > 0 {
+			b.occupied = mask
+		}
+		return
+	}
+	lnSurvive := math.Log1p(-q)
+	for t := 0; t < n; t++ {
+		bit := uint64(1) << uint(t)
+		i := 0
+		for i < numCells {
+			skip := math.Floor(math.Log1p(-in.rng.Float64()) / lnSurvive)
+			if skip >= float64(numCells-i) {
+				break
+			}
+			i += int(skip)
+			b.cols[i] |= bit
+			b.occupied |= bit
+			i++
+		}
+	}
+}
+
+// ClusteredBatch fills the batch with n clustered-defect trials over the
+// array, the batched form of Clustered: each trial draws its own Poisson
+// cluster count, centers, and ring coins, in exactly the per-trial order of
+// n successive Clustered calls, so the batched and scalar paths consume the
+// identical PRNG stream. It returns the total number of clusters seeded
+// across the batch.
+func (in *Injector) ClusteredBatch(arr *layout.Array, cp ClusterParams, n int, b *TrialBatch) (int, error) {
+	if err := cp.validate(); err != nil {
+		return 0, err
+	}
+	b.Reset(n)
+	decay := cp.clusterDecay(6)
+	maxR := clusterRadius(decay)
+	rate := cp.clusterRate()
+	total := 0
+	for t := 0; t < n; t++ {
+		bit := uint64(1) << uint(t)
+		clusters := in.poisson(rate)
+		total += clusters
+		for c := 0; c < clusters; c++ {
+			center := layout.CellID(in.rng.Intn(arr.NumCells()))
+			b.cols[center] |= bit
+			b.occupied |= bit
+			pos := arr.Cell(center).Pos
+			prob := 1.0
+			for r := 1; r <= maxR; r++ {
+				prob *= decay
+				cur := pos.Add(hexgrid.Directions[4].Scale(r))
+				for side := 0; side < 6; side++ {
+					for step := 0; step < r; step++ {
+						if id := arr.CellAt(cur); id != layout.NoCell && in.rng.Float64() < prob {
+							b.cols[id] |= bit
+							b.occupied |= bit
+						}
+						cur = cur.Neighbor(side)
+					}
+				}
+			}
+		}
+	}
+	return total, nil
+}

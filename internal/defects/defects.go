@@ -22,6 +22,7 @@ package defects
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -135,40 +136,89 @@ func (d Defect) String() string {
 }
 
 // FaultSet records which cells of an array are faulty, plus the defects that
-// made them so. The zero value is unusable; use NewFaultSet.
+// made them so. Membership is a bitset — one machine word covers 64 cells —
+// so clearing, counting, and the all-healthy screen of the Monte-Carlo
+// kernel are word-parallel, and the bit pattern itself is the canonical key
+// for feasibility memoization (Words, Signature). The zero value is
+// unusable; use NewFaultSet.
 type FaultSet struct {
-	faulty  []bool
-	count   int
-	defects []Defect
+	numCells int
+	words    []uint64 // bit i of words[i/64] = cell i faulty
+	count    int
+	defects  []Defect
 }
 
 // NewFaultSet returns an empty fault set for an array with numCells cells.
 func NewFaultSet(numCells int) *FaultSet {
-	return &FaultSet{faulty: make([]bool, numCells)}
+	return &FaultSet{numCells: numCells, words: make([]uint64, (numCells+63)/64)}
 }
 
 // NumCells returns the size of the underlying array.
-func (f *FaultSet) NumCells() int { return len(f.faulty) }
+func (f *FaultSet) NumCells() int { return f.numCells }
 
 // MarkFaulty marks a cell faulty. Marking twice is a no-op.
 func (f *FaultSet) MarkFaulty(id layout.CellID) {
-	if !f.faulty[id] {
-		f.faulty[id] = true
+	if uint(id) >= uint(f.numCells) {
+		panic("defects: cell id out of range")
+	}
+	w, bit := id>>6, uint64(1)<<(uint(id)&63)
+	if f.words[w]&bit == 0 {
+		f.words[w] |= bit
 		f.count++
 	}
 }
 
 // Clear resets every cell to fault-free and drops the defect list.
 func (f *FaultSet) Clear() {
-	for i := range f.faulty {
-		f.faulty[i] = false
+	for i := range f.words {
+		f.words[i] = 0
 	}
 	f.count = 0
 	f.defects = f.defects[:0]
 }
 
-// IsFaulty reports whether the cell is faulty.
-func (f *FaultSet) IsFaulty(id layout.CellID) bool { return f.faulty[id] }
+// IsFaulty reports whether the cell is faulty. The id must be in
+// [0, NumCells).
+func (f *FaultSet) IsFaulty(id layout.CellID) bool {
+	return f.words[id>>6]&(uint64(1)<<(uint(id)&63)) != 0
+}
+
+// Words exposes the fault bitset: bit i of Words()[i/64] is set iff cell i
+// is faulty. The slice is the set's backing store — callers must treat it
+// as read-only and must not retain it across a Clear or re-injection. It is
+// the zero-copy currency between batched injection, word-parallel
+// feasibility checks, and memoization keys.
+func (f *FaultSet) Words() []uint64 { return f.words }
+
+// Signature returns a 64-bit signature of the fault bit pattern, the
+// memoization key of reconfig feasibility caching. It depends only on the
+// final bit state, never on insertion order. For arrays of at most 64 cells
+// the pattern is one word and the signature is a bijection of it (see
+// mix64), so distinct fault sets are guaranteed distinct signatures; larger
+// arrays chain the per-word mixes, which is collision-resistant but not
+// provably injective — exact-match callers compare Words too.
+func (f *FaultSet) Signature() uint64 { return SignatureOfWords(f.words) }
+
+// SignatureOfWords is Signature over a raw fault bitset, for callers that
+// hold trial words without a FaultSet (the bit-packed trial path).
+func SignatureOfWords(words []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = mix64(h ^ w)
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijection on 64-bit words with full
+// avalanche, so hashing a single word can never collide.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // Count returns the number of faulty cells.
 func (f *FaultSet) Count() int { return f.count }
@@ -190,9 +240,9 @@ func (f *FaultSet) AddDefect(d Defect) {
 // FaultyCells returns the faulty cell IDs in ascending order.
 func (f *FaultSet) FaultyCells() []layout.CellID {
 	out := make([]layout.CellID, 0, f.count)
-	for i, bad := range f.faulty {
-		if bad {
-			out = append(out, layout.CellID(i))
+	for w, word := range f.words {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, layout.CellID(w<<6+bits.TrailingZeros64(word)))
 		}
 	}
 	return out
@@ -203,7 +253,7 @@ func (f *FaultSet) FaultyCells() []layout.CellID {
 func (f *FaultSet) FaultyPrimaries(arr *layout.Array) []layout.CellID {
 	var out []layout.CellID
 	for _, id := range arr.Primaries() {
-		if f.faulty[id] {
+		if f.IsFaulty(id) {
 			out = append(out, id)
 		}
 	}
@@ -218,7 +268,7 @@ func (f *FaultSet) AnyFaultyPrimary(arr *layout.Array) bool {
 		return false
 	}
 	for _, id := range arr.Primaries() {
-		if f.faulty[id] {
+		if f.IsFaulty(id) {
 			return true
 		}
 	}
@@ -230,7 +280,7 @@ func (f *FaultSet) AnyFaultyPrimary(arr *layout.Array) bool {
 func (f *FaultSet) FaultySpares(arr *layout.Array) []layout.CellID {
 	var out []layout.CellID
 	for _, id := range arr.Spares() {
-		if f.faulty[id] {
+		if f.IsFaulty(id) {
 			out = append(out, id)
 		}
 	}

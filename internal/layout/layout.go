@@ -167,6 +167,17 @@ type Array struct {
 	cells  []Cell
 	index  map[hexgrid.Axial]CellID
 
+	// grid is the dense position index of the array's axial bounding box:
+	// grid[(r−gridMinR)·gridW + (q−gridMinQ)] is the cell at (q,r), or NoCell.
+	// CellAt resolves through it in a couple of arithmetic ops where the map
+	// above costs a hash — the difference is the whole clustered-injection
+	// hot path, which probes every ring position of every cluster. It is nil
+	// for pathologically sparse regions (see gridMaxWaste), where CellAt
+	// falls back to the map.
+	grid            []CellID
+	gridMinQ, gridW int
+	gridMinR, gridH int
+
 	primaries []CellID // IDs of primary cells, ascending
 	spares    []CellID // IDs of spare cells, ascending
 
@@ -208,7 +219,51 @@ func Build(d Design, region *hexgrid.Region) (*Array, error) {
 		}
 	}
 	arr.buildAdjacency()
+	arr.buildGrid()
 	return arr, nil
+}
+
+// gridMaxWaste bounds the dense position index: the bounding box may hold at
+// most this many empty slots per resident cell before Build falls back to the
+// map. Every array shape the package constructs (parallelograms, hexagons,
+// offset rectangles, cluster unions) is within a small constant of dense, so
+// the guard only trips for degenerate hand-built regions such as long
+// diagonal lines.
+const gridMaxWaste = 64
+
+// buildGrid precomputes the dense CellAt table over the axial bounding box.
+func (a *Array) buildGrid() {
+	minQ, maxQ := a.cells[0].Pos.Q, a.cells[0].Pos.Q
+	minR, maxR := a.cells[0].Pos.R, a.cells[0].Pos.R
+	for i := range a.cells {
+		p := a.cells[i].Pos
+		if p.Q < minQ {
+			minQ = p.Q
+		}
+		if p.Q > maxQ {
+			maxQ = p.Q
+		}
+		if p.R < minR {
+			minR = p.R
+		}
+		if p.R > maxR {
+			maxR = p.R
+		}
+	}
+	w, h := maxQ-minQ+1, maxR-minR+1
+	if w*h > gridMaxWaste*len(a.cells) {
+		return // leave grid nil; CellAt falls back to the map
+	}
+	a.gridMinQ, a.gridW = minQ, w
+	a.gridMinR, a.gridH = minR, h
+	a.grid = make([]CellID, w*h)
+	for i := range a.grid {
+		a.grid[i] = NoCell
+	}
+	for i := range a.cells {
+		p := a.cells[i].Pos
+		a.grid[(p.R-minR)*w+(p.Q-minQ)] = CellID(i)
+	}
 }
 
 // BuildParallelogram instantiates the design over a w×h axial parallelogram.
@@ -393,8 +448,18 @@ func (a *Array) Spares() []CellID { return a.spares }
 // Cell returns the cell with the given ID.
 func (a *Array) Cell(id CellID) Cell { return a.cells[id] }
 
-// CellAt returns the ID of the cell at the given position, or NoCell.
+// CellAt returns the ID of the cell at the given position, or NoCell. It is
+// the clustered-injection hot path (every ring position of every cluster is
+// probed), so it resolves through the dense bounding-box grid rather than
+// the construction map.
 func (a *Array) CellAt(pos hexgrid.Axial) CellID {
+	if a.grid != nil {
+		q, r := pos.Q-a.gridMinQ, pos.R-a.gridMinR
+		if uint(q) >= uint(a.gridW) || uint(r) >= uint(a.gridH) {
+			return NoCell
+		}
+		return a.grid[r*a.gridW+q]
+	}
 	if id, ok := a.index[pos]; ok {
 		return id
 	}

@@ -411,3 +411,63 @@ func BenchmarkBuildWithPrimaryTarget100(b *testing.B) {
 		}
 	}
 }
+
+// TestCellAtGridMatchesIndex pins the dense CellAt grid to the construction
+// map over every design and footprint shape: hits resolve to the same ID,
+// and positions off the array (inside and outside the bounding box alike)
+// return NoCell. CellAt is the clustered-injection hot path, so this is the
+// lookup the defect model's determinism rests on.
+func TestCellAtGridMatchesIndex(t *testing.T) {
+	arrs := make([]*Array, 0, 8)
+	for _, d := range AllDesignsWithVariants() {
+		arr, err := BuildWithPrimaryTarget(d, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs = append(arrs, arr)
+	}
+	hexArr, err := BuildHexagonWithPrimaryTarget(DTMB26(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := BuildClusterCompleteDTMB16(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrs = append(arrs, hexArr, cluster)
+	for _, arr := range arrs {
+		byPos := make(map[hexgrid.Axial]CellID, arr.NumCells())
+		minQ, maxQ := 0, 0
+		minR, maxR := 0, 0
+		for i := 0; i < arr.NumCells(); i++ {
+			c := arr.Cell(CellID(i))
+			byPos[c.Pos] = c.ID
+			if c.Pos.Q < minQ {
+				minQ = c.Pos.Q
+			}
+			if c.Pos.Q > maxQ {
+				maxQ = c.Pos.Q
+			}
+			if c.Pos.R < minR {
+				minR = c.Pos.R
+			}
+			if c.Pos.R > maxR {
+				maxR = c.Pos.R
+			}
+		}
+		// Scan a margin beyond the bounding box so both the in-box miss and
+		// the out-of-box early return are exercised.
+		for q := minQ - 3; q <= maxQ+3; q++ {
+			for r := minR - 3; r <= maxR+3; r++ {
+				pos := hexgrid.Axial{Q: q, R: r}
+				want, ok := byPos[pos]
+				if !ok {
+					want = NoCell
+				}
+				if got := arr.CellAt(pos); got != want {
+					t.Fatalf("%s: CellAt(%v) = %d, want %d", arr, pos, got, want)
+				}
+			}
+		}
+	}
+}

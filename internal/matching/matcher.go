@@ -40,7 +40,10 @@ type Matcher struct {
 // to maxA left vertices, maxB right vertices, and maxEdges edges. Larger
 // graphs still work; they just grow the scratch once. Callers that know
 // their bounds (reconfig sessions know the array) reach zero steady-state
-// allocation immediately.
+// allocation immediately. All five fixed-size scratch arrays are carved
+// from one backing allocation (capacity-capped so appends can never bleed
+// into a neighbor); only edges gets its own, as the one buffer whose growth
+// profile differs.
 func NewMatcher(maxA, maxB, maxEdges int) *Matcher {
 	if maxA < 0 {
 		maxA = 0
@@ -51,13 +54,18 @@ func NewMatcher(maxA, maxB, maxEdges int) *Matcher {
 	if maxEdges < 0 {
 		maxEdges = 0
 	}
+	buf := make([]int32, (maxA+1)+3*maxA+maxB)
+	startsEnd := maxA + 1
+	matchAEnd := startsEnd + maxA
+	matchBEnd := matchAEnd + maxB
+	distEnd := matchBEnd + maxA
 	m := &Matcher{
-		starts: make([]int32, 1, maxA+1),
+		starts: buf[0:1:startsEnd],
+		matchA: buf[startsEnd:startsEnd:matchAEnd],
+		matchB: buf[matchAEnd:matchAEnd:matchBEnd],
+		dist:   buf[matchBEnd:matchBEnd:distEnd],
+		queue:  buf[distEnd:distEnd],
 		edges:  make([]int32, 0, maxEdges),
-		matchA: make([]int32, maxA),
-		matchB: make([]int32, maxB),
-		dist:   make([]int32, maxA),
-		queue:  make([]int32, 0, maxA),
 	}
 	return m
 }
@@ -191,6 +199,37 @@ func (m *Matcher) dfs(a int32) bool {
 	}
 	m.dist[a] = matcherInf
 	return false
+}
+
+// GraphSignature returns a 64-bit FNV-1a digest of the graph built since
+// Reset: the right-side size, the CSR row starts, and the edge list, in
+// order. Two matchers that were fed the identical Reset/AddEdge/EndLeft
+// sequence — and only those — produce equal signatures, which is how the
+// differential suite pins that the word-driven and FaultSet-driven
+// feasibility paths assemble the same repair graph, not merely the same
+// verdict.
+func (m *Matcher) GraphSignature() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(m.nb))
+	mix(uint64(len(m.starts)))
+	for _, s := range m.starts {
+		mix(uint64(uint32(s)))
+	}
+	for _, e := range m.edges {
+		mix(uint64(uint32(e)))
+	}
+	return h
 }
 
 // growInt32 returns s resliced to length n, reallocating only when the

@@ -1,0 +1,156 @@
+package reconfig
+
+// Feasibility memoization for small arrays: the verdict of Session.Feasible
+// is a pure function of the fault bit pattern (the array and options are
+// fixed at session construction), and at the high survival probabilities
+// yield analysis cares about the pattern space actually hit is tiny — a
+// handful of faults over a few hundred cells, with single-fault patterns
+// dominating. An LRU keyed by the exact fault words makes repeat patterns
+// free while bounding memory to capacity × ~56 bytes per worker.
+//
+// The memo is a fixed-capacity chained-hash table plus an intrusive doubly
+// linked LRU list, all indices into one preallocated entry arena: steady
+// state (hits, misses, and evictions alike) allocates nothing, which the
+// allocs regression suite pins. Keys are compared word-for-word — the
+// signature hash only picks the bucket — so a hash collision can never
+// produce a wrong verdict, even beyond the 64-cell injectivity guarantee.
+
+// MemoMaxCells is the largest array (in cells) feasibility memoization
+// accepts: patterns up to this size fit a fixed four-word key, keeping
+// entries flat and comparisons branch-free. Larger arrays simply run the
+// solver every time.
+const MemoMaxCells = 256
+
+// memoWords is the fixed key width: MemoMaxCells/64 machine words.
+const memoWords = MemoMaxCells / 64
+
+// DefaultMemoCapacity is the per-worker entry budget yieldsim enables by
+// default on memoizable arrays: ~112 KB per worker, large enough to hold
+// every 1- and 2-fault pattern of a MemoMaxCells-cell array's hot tail.
+const DefaultMemoCapacity = 2048
+
+// memoEntry is one cached verdict. Links are entry-arena indices, -1 nil.
+type memoEntry struct {
+	key        [memoWords]uint64
+	hash       uint32 // bucket hash, kept so eviction can unlink its chain
+	hnext      int32  // next entry in the bucket chain
+	prev, next int32  // LRU list neighbors (prev is toward the front)
+	ok         bool
+}
+
+// feasMemo is the session-embedded LRU. The zero value is disabled; init
+// arms it.
+type feasMemo struct {
+	buckets    []int32 // bucket → chain head entry index, -1 empty
+	mask       uint32
+	entries    []memoEntry
+	used       int   // entries handed out so far (arena high-water mark)
+	head, tail int32 // LRU front (most recent) and back
+}
+
+// init sizes the memo for capacity entries, with buckets at the next power
+// of two for load factor ≤ 1.
+func (m *feasMemo) init(capacity int) {
+	nb := 1
+	for nb < capacity {
+		nb <<= 1
+	}
+	m.buckets = make([]int32, nb)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	m.mask = uint32(nb - 1)
+	m.entries = make([]memoEntry, capacity)
+	m.used = 0
+	m.head, m.tail = -1, -1
+}
+
+// enabled reports whether init has armed the memo.
+func (m *feasMemo) enabled() bool { return len(m.entries) > 0 }
+
+// lookup returns the cached verdict for key, moving its entry to the LRU
+// front. The second result reports whether the key was present.
+func (m *feasMemo) lookup(h uint32, key *[memoWords]uint64) (bool, bool) {
+	for i := m.buckets[h&m.mask]; i >= 0; i = m.entries[i].hnext {
+		if m.entries[i].key == *key {
+			m.touch(i)
+			return m.entries[i].ok, true
+		}
+	}
+	return false, false
+}
+
+// touch moves entry i to the LRU front.
+func (m *feasMemo) touch(i int32) {
+	if m.head == i {
+		return
+	}
+	e := &m.entries[i]
+	if e.prev >= 0 {
+		m.entries[e.prev].next = e.next
+	}
+	if e.next >= 0 {
+		m.entries[e.next].prev = e.prev
+	}
+	if m.tail == i {
+		m.tail = e.prev
+	}
+	e.prev = -1
+	e.next = m.head
+	if m.head >= 0 {
+		m.entries[m.head].prev = i
+	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+}
+
+// insert caches a verdict for a key known to be absent, evicting the LRU
+// tail once the arena is full.
+func (m *feasMemo) insert(h uint32, key *[memoWords]uint64, ok bool) {
+	var i int32
+	if m.used < len(m.entries) {
+		i = int32(m.used)
+		m.used++
+	} else {
+		i = m.tail
+		e := &m.entries[i]
+		b := e.hash & m.mask
+		if m.buckets[b] == i {
+			m.buckets[b] = e.hnext
+		} else {
+			for j := m.buckets[b]; ; j = m.entries[j].hnext {
+				if m.entries[j].hnext == i {
+					m.entries[j].hnext = e.hnext
+					break
+				}
+			}
+		}
+		m.tail = e.prev
+		if m.tail >= 0 {
+			m.entries[m.tail].next = -1
+		} else {
+			m.head = -1
+		}
+	}
+	e := &m.entries[i]
+	e.key = *key
+	e.hash = h
+	e.ok = ok
+	b := h & m.mask
+	e.hnext = m.buckets[b]
+	m.buckets[b] = i
+	e.prev = -1
+	e.next = m.head
+	if m.head >= 0 {
+		m.entries[m.head].prev = i
+	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+}
+
+// len returns the number of live entries.
+func (m *feasMemo) len() int { return m.used }

@@ -2,6 +2,7 @@ package reconfig
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dmfb/internal/defects"
 	"dmfb/internal/layout"
@@ -36,10 +37,19 @@ type Session struct {
 	// or -1 for primaries. It is the static replacement for the spareIdx map
 	// LocalReconfigure rebuilds per call.
 	spareSlot []int32
-	// targets is the scratch list of faulty primaries to repair, capacity
-	// NumPrimary (the worst case).
-	targets []layout.CellID
-	m       *matching.Matcher
+	// targetMask is the repair-target bitset in FaultSet.Words layout:
+	// bit i set iff cell i is a primary the options put in scope (all
+	// primaries under RepairAll, used primaries under RepairUsed). One AND
+	// against the fault words yields the trial's targets, scanned in the
+	// same ascending order the primary list would produce.
+	targetMask []uint64
+	m          *matching.Matcher
+
+	// memo, when armed by EnableMemo, caches feasibility verdicts keyed by
+	// the exact fault words; the counters, when set, receive hit/miss
+	// increments (plain, non-atomic — sessions are single-worker).
+	memo                 feasMemo
+	memoHits, memoMisses *uint64
 }
 
 // NewSession builds a reusable feasibility session for the array under the
@@ -61,16 +71,23 @@ func NewSession(arr *layout.Array, opts Options) (*Session, error) {
 	for slot, id := range arr.Spares() {
 		spareSlot[id] = int32(slot)
 	}
+	targetMask := make([]uint64, (arr.NumCells()+63)/64)
+	for _, id := range arr.Primaries() {
+		if opts.Scope == RepairUsed && !opts.Used[id] {
+			continue
+		}
+		targetMask[id>>6] |= uint64(1) << (uint(id) & 63)
+	}
 	maxEdges := 0
 	for _, id := range arr.Primaries() {
 		maxEdges += len(arr.SpareNeighbors(id))
 	}
 	return &Session{
-		arr:       arr,
-		opts:      opts,
-		spareSlot: spareSlot,
-		targets:   make([]layout.CellID, 0, arr.NumPrimary()),
-		m:         matching.NewMatcher(arr.NumPrimary(), arr.NumSpare(), maxEdges),
+		arr:        arr,
+		opts:       opts,
+		spareSlot:  spareSlot,
+		targetMask: targetMask,
+		m:          matching.NewMatcher(arr.NumPrimary(), arr.NumSpare(), maxEdges),
 	}, nil
 }
 
@@ -93,34 +110,109 @@ func (s *Session) Feasible(fs *defects.FaultSet) (bool, error) {
 	if fs.Count() == 0 {
 		return true, nil
 	}
-	targets := s.targets[:0]
-	for _, id := range s.arr.Primaries() {
-		if !fs.IsFaulty(id) {
-			continue
-		}
-		if s.opts.Scope == RepairUsed && !s.opts.Used[id] {
-			continue
-		}
-		targets = append(targets, id)
+	return s.feasible(fs.Words()), nil
+}
+
+// FeasibleWords is Feasible over a raw fault bitset in FaultSet.Words
+// layout (bit i of words[i/64] = cell i faulty) — the zero-copy entry point
+// of the bit-packed trial path, which holds per-trial words from a
+// defects.TrialBatch row and never materializes a FaultSet.
+func (s *Session) FeasibleWords(words []uint64) (bool, error) {
+	if len(words) != len(s.targetMask) {
+		return false, fmt.Errorf("reconfig: fault words sized %d, want %d",
+			len(words), len(s.targetMask))
 	}
-	s.targets = targets
-	if len(targets) == 0 {
-		return true, nil
+	return s.feasible(words), nil
+}
+
+// EnableMemo arms feasibility memoization with the given entry capacity and
+// reports whether it took effect: memoization is only available for arrays
+// of at most MemoMaxCells cells (whose fault patterns fit the fixed memo
+// key) and positive capacities. Verdicts are cached per exact fault
+// pattern; the memo never changes a verdict, only its cost. Enabling resets
+// any previously cached entries.
+func (s *Session) EnableMemo(capacity int) bool {
+	if capacity <= 0 || s.arr.NumCells() > MemoMaxCells {
+		return false
 	}
+	s.memo.init(capacity)
+	return true
+}
+
+// SetMemoCounters wires per-session hit/miss counters: each memoized
+// Feasible increments *hits on a cache hit or *misses on a solver run. The
+// increments are plain stores — a session is single-worker by contract —
+// so the Monte-Carlo kernel points them at its per-worker probe and
+// flushes to shared atomics once per chunk. Either pointer may be nil.
+func (s *Session) SetMemoCounters(hits, misses *uint64) {
+	s.memoHits, s.memoMisses = hits, misses
+}
+
+// MemoLen returns the number of cached feasibility verdicts (0 when
+// memoization is disabled).
+func (s *Session) MemoLen() int { return s.memo.len() }
+
+// GraphSignature returns the matching.Matcher signature of the repair graph
+// left by the most recent solver run — the differential suite's witness
+// that two feasibility paths built the identical graph. Queries answered
+// without the solver (all-healthy draws, no-target draws, memo hits) leave
+// the previous graph in place.
+func (s *Session) GraphSignature() uint64 { return s.m.GraphSignature() }
+
+// feasible answers the feasibility query for a fault bitset, through the
+// memo when armed.
+func (s *Session) feasible(words []uint64) bool {
+	if !s.memo.enabled() {
+		return s.solve(words)
+	}
+	var key [memoWords]uint64
+	copy(key[:], words)
+	sig := defects.SignatureOfWords(words)
+	h := uint32(sig ^ sig>>32)
+	if ok, hit := s.memo.lookup(h, &key); hit {
+		if s.memoHits != nil {
+			*s.memoHits++
+		}
+		return ok
+	}
+	if s.memoMisses != nil {
+		*s.memoMisses++
+	}
+	ok := s.solve(words)
+	s.memo.insert(h, &key, ok)
+	return ok
+}
+
+// solve runs the matcher over the fault bitset: targets are the set bits of
+// words ∧ targetMask, visited in ascending cell order (the order the
+// primary-list scan used to produce, so the repair graph is built
+// identically), each wired to its non-faulty adjacent spares.
+func (s *Session) solve(words []uint64) bool {
 	// Build the repair graph over the full spare set: faulty spares simply
 	// receive no edges, so the dynamic spare subset of LocalReconfigure is
 	// unnecessary. A target with no healthy adjacent spare is an immediate
 	// Hall violation (|N({t})| = 0), reported without running the solver.
-	s.m.Reset(s.arr.NumSpare())
-	for _, t := range targets {
-		for _, sp := range s.arr.SpareNeighbors(t) {
-			if !fs.IsFaulty(sp) {
-				s.m.AddEdge(int(s.spareSlot[sp]))
+	started := false
+	for w, tm := range s.targetMask {
+		ww := words[w] & tm
+		for ; ww != 0; ww &= ww - 1 {
+			id := layout.CellID(w<<6 + bits.TrailingZeros64(ww))
+			if !started {
+				s.m.Reset(s.arr.NumSpare())
+				started = true
+			}
+			for _, sp := range s.arr.SpareNeighbors(id) {
+				if words[sp>>6]&(uint64(1)<<(uint(sp)&63)) == 0 {
+					s.m.AddEdge(int(s.spareSlot[sp]))
+				}
+			}
+			if s.m.EndLeft() == 0 {
+				return false
 			}
 		}
-		if s.m.EndLeft() == 0 {
-			return false, nil
-		}
 	}
-	return s.m.SaturatesA(), nil
+	if !started {
+		return true
+	}
+	return s.m.SaturatesA()
 }

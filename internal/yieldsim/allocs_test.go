@@ -19,32 +19,51 @@ import (
 	"dmfb/internal/sqgrid"
 )
 
-// trialForTest builds one worker's trial closure from a factory and warms
-// its scratch (fault set, session, injector pool) with a few iterations.
-func trialForTest(t *testing.T, factory trialFactory, in *defects.Injector) trialFunc {
+// programForTest builds one worker's trial program from a factory and warms
+// its scratch (fault set or trial batch, session, memo, injector pool) with
+// a few iterations of whichever form the program takes.
+func programForTest(t *testing.T, factory trialFactory, in *defects.Injector) trialProgram {
 	t.Helper()
 	var probe kernelProbe
-	trial, err := factory(&probe)
+	program, err := factory(&probe)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if program.batch != nil {
+		if _, err := program.batch(in, 2*defects.WordTrials); err != nil {
+			t.Fatal(err)
+		}
+		return program
+	}
 	for i := 0; i < 64; i++ {
-		if _, err := trial(in); err != nil {
+		if _, err := program.trial(in); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return trial
+	return program
 }
 
+// assertZeroAllocTrials pins a factory's steady state to zero heap
+// allocations: per trial for scalar programs, per 64-trial word batch for
+// batch programs (so one measured run covers injection, the all-healthy
+// screen, the transpose, and every feasibility verdict in the word).
 func assertZeroAllocTrials(t *testing.T, name string, factory trialFactory) {
 	t.Helper()
 	in := defects.NewInjector(1)
-	trial := trialForTest(t, factory, in)
-	allocs := testing.AllocsPerRun(300, func() {
-		if _, err := trial(in); err != nil {
+	program := programForTest(t, factory, in)
+	step := func() {
+		if _, err := program.trial(in); err != nil {
 			t.Fatal(err)
 		}
-	})
+	}
+	if program.batch != nil {
+		step = func() {
+			if _, err := program.batch(in, defects.WordTrials); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(300, step)
 	if allocs != 0 {
 		t.Errorf("%s: steady-state trial allocates %.1f times per run, want 0", name, allocs)
 	}
@@ -52,7 +71,8 @@ func assertZeroAllocTrials(t *testing.T, name string, factory trialFactory) {
 
 // TestSteadyStateTrialsZeroAllocs pins the local (parallelogram), hex, and
 // shifted strategies — plus the fixed-count, clustered, and no-redundancy
-// trial paths — to zero allocations per steady-state trial.
+// trial paths — to zero allocations per steady-state trial, in both the
+// default word-packed batch form and the scalar reference form.
 func TestSteadyStateTrialsZeroAllocs(t *testing.T) {
 	local, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
 	if err != nil {
@@ -67,6 +87,8 @@ func TestSteadyStateTrialsZeroAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	mc := NewMonteCarlo(1)
+	scalar := NewMonteCarlo(1)
+	scalar.forceScalar = true
 	shifted, err := mc.shiftedTrials(pl, 0.95, defects.Model{})
 	if err != nil {
 		t.Fatal(err)
@@ -77,16 +99,20 @@ func TestSteadyStateTrialsZeroAllocs(t *testing.T) {
 	}
 	fast := NewMonteCarlo(1)
 	fast.FastSampling = true
+	clusterParams := defects.ClusterParams{MeanDefects: 7, ClusterSize: 4}
 	cases := []struct {
 		name    string
 		factory trialFactory
 	}{
 		{"local/bernoulli", mc.yieldTrials(local, 0.95)},
+		{"local/bernoulli-scalar", scalar.yieldTrials(local, 0.95)},
 		{"local/fast-sampling", fast.yieldTrials(local, 0.95)},
 		{"hex/bernoulli", mc.yieldTrials(hex, 0.95)},
-		{"hex/clustered", mc.clusteredTrials(hex, defects.ClusterParams{MeanDefects: 7, ClusterSize: 4})},
+		{"hex/clustered", mc.clusteredTrials(hex, clusterParams)},
+		{"hex/clustered-scalar", scalar.clusteredTrials(hex, clusterParams)},
 		{"local/fixed-count", mc.fixedFaultsTrials(local, 12, defects.AllCells)},
 		{"local/no-redundancy", mc.noRedundancyTrials(local, 0.95)},
+		{"local/no-redundancy-scalar", scalar.noRedundancyTrials(local, 0.95)},
 		{"shifted/bernoulli", shifted},
 		{"shifted/clustered", shiftedClustered},
 	}

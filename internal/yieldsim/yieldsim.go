@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"time"
@@ -134,6 +135,16 @@ type MonteCarlo struct {
 	// request and the exact chunks that served it. Info and above emit
 	// nothing, so production logging costs one Enabled check per estimate.
 	Logger *slog.Logger
+
+	// forceScalar runs trials one at a time through the scalar injection
+	// path instead of 64-per-word batches, and noMemo disables feasibility
+	// memoization. Both are test-only knobs: the differential suite flips
+	// them to pin batched == scalar estimates and memoized == direct
+	// verdicts. The batch path consumes the identical PRNG stream as the
+	// scalar path (trial-major, cell-minor — see defects.BernoulliBatch),
+	// so the knobs never change an estimate, only the machinery behind it.
+	forceScalar bool
+	noMemo      bool
 }
 
 // NewMonteCarlo returns a simulator with the paper's defaults (10000 runs).
@@ -163,6 +174,21 @@ func (mc *MonteCarlo) chunkSize() int {
 // steady-state trial path performs no heap allocation.
 type trialFunc func(in *defects.Injector) (bool, error)
 
+// batchFunc runs a block of trials with the worker's injector and returns
+// the number that survived. Implementations pack the block into 64-trial
+// machine words (defects.TrialBatch): injection is trial-major so the PRNG
+// stream matches the scalar path draw for draw, the all-healthy screen is
+// one popcount per word of trials, and only trials that drew faults reach
+// a feasibility check.
+type batchFunc func(in *defects.Injector, runs int) (int, error)
+
+// trialProgram is one worker's compiled trial body: exactly one of trial
+// (scalar, one trial per call) or batch (word-packed blocks) is set.
+type trialProgram struct {
+	trial trialFunc
+	batch batchFunc
+}
+
 // kernelProbe accumulates one worker's trial-path observations in plain
 // (non-atomic) fields. Each worker owns exactly one probe; the run loop
 // flushes and zeroes it at every chunk boundary, so trials pay a plain
@@ -173,13 +199,18 @@ type kernelProbe struct {
 	allHealthy uint64
 	// matcher counts trials that reached a feasibility decision.
 	matcher uint64
+	// memoHits and memoMisses split the feasibility decisions of memoizing
+	// sessions: verdicts served from the fault-pattern cache vs solver
+	// runs. Both stay zero on paths without memoization. The session
+	// increments them directly (reconfig.Session.SetMemoCounters).
+	memoHits, memoMisses uint64
 }
 
-// trialFactory builds one worker's trial closure together with the scratch
-// it owns, wiring the worker's probe into the closure. run calls it once
+// trialFactory builds one worker's trial program together with the scratch
+// it owns, wiring the worker's probe into the closures. run calls it once
 // per worker; workers share nothing but read-only inputs (the array,
 // masks, model parameters).
-type trialFactory func(probe *kernelProbe) (trialFunc, error)
+type trialFactory func(probe *kernelProbe) (trialProgram, error)
 
 // run executes mc.Runs independent trials and counts successes. The runs are
 // split into fixed-size chunks, each seeded from its own PRNG stream derived
@@ -237,7 +268,7 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 		go func() {
 			defer wg.Done()
 			var probe kernelProbe
-			trial, err := factory(&probe)
+			program, err := factory(&probe)
 			if err != nil {
 				errCh <- err
 				cancel()
@@ -259,15 +290,24 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 					chunkStart = time.Now()
 				}
 				chunkSuccesses := 0
-				for i := 0; i < runs; i++ {
-					ok, err := trial(in)
+				if program.batch != nil {
+					chunkSuccesses, err = program.batch(in, runs)
 					if err != nil {
 						errCh <- err
 						cancel()
 						return
 					}
-					if ok {
-						chunkSuccesses++
+				} else {
+					for i := 0; i < runs; i++ {
+						ok, err := program.trial(in)
+						if err != nil {
+							errCh <- err
+							cancel()
+							return
+						}
+						if ok {
+							chunkSuccesses++
+						}
 					}
 				}
 				successes += chunkSuccesses
@@ -277,6 +317,8 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 						m.Trials.Add(uint64(runs))
 						m.AllHealthy.Add(probe.allHealthy)
 						m.MatcherInvocations.Add(probe.matcher)
+						m.MemoHits.Add(probe.memoHits)
+						m.MemoMisses.Add(probe.memoMisses)
 						m.ChunkSeconds.Observe(elapsed.Seconds())
 					}
 					if spanLog {
@@ -287,10 +329,13 @@ func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, er
 							slog.Int("successes", chunkSuccesses),
 							slog.Uint64("all_healthy", probe.allHealthy),
 							slog.Uint64("matcher", probe.matcher),
+							slog.Uint64("memo_hits", probe.memoHits),
+							slog.Uint64("memo_misses", probe.memoMisses),
 							slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
 						)
 					}
 					probe.allHealthy, probe.matcher = 0, 0
+					probe.memoHits, probe.memoMisses = 0, 0
 				}
 			}
 			successCh <- successes
@@ -337,6 +382,56 @@ func (mc *MonteCarlo) bernoulliSamplerN() func(*defects.Injector, int, float64, 
 	return (*defects.Injector).BernoulliN
 }
 
+// bernoulliBatcher selects the word-packed Bernoulli injection routine: the
+// batched forms consume the identical PRNG stream as the scalar samplers
+// above, so switching between them never changes an estimate.
+func (mc *MonteCarlo) bernoulliBatcher() func(*defects.Injector, int, float64, int, *defects.TrialBatch) {
+	if mc.FastSampling {
+		return (*defects.Injector).BernoulliGeomBatch
+	}
+	return (*defects.Injector).BernoulliBatch
+}
+
+// enableMemo arms feasibility memoization on a worker's session when the
+// array is small enough and the simulator hasn't opted out, pointing the
+// hit/miss counters at the worker's probe. On large arrays EnableMemo
+// refuses and the session simply solves every query.
+func (mc *MonteCarlo) enableMemo(sess *reconfig.Session, probe *kernelProbe) {
+	if mc.noMemo {
+		return
+	}
+	if sess.EnableMemo(reconfig.DefaultMemoCapacity) {
+		sess.SetMemoCounters(&probe.memoHits, &probe.memoMisses)
+	}
+}
+
+// feasBatchVerdicts scores one injected batch: all-healthy trials (clear
+// bits of the occupied mask) succeed without any feasibility machinery;
+// the rest are transposed into per-trial fault words and judged by the
+// session, word layout to word layout with no FaultSet in between.
+func feasBatchVerdicts(b *defects.TrialBatch, sess *reconfig.Session, probe *kernelProbe, n int) (int, error) {
+	occ := b.Occupied()
+	healthy := n - bits.OnesCount64(occ)
+	probe.allHealthy += uint64(healthy)
+	successes := healthy
+	if occ == 0 {
+		return successes, nil
+	}
+	b.Finalize()
+	for m := occ; m != 0; m &= m - 1 {
+		t := bits.TrailingZeros64(m)
+		probe.matcher++
+		ok, err := sess.FeasibleWords(b.Row(t))
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			successes++
+		}
+	}
+	return successes, nil
+}
+
 // Yield estimates the yield of the array at cell survival probability p:
 // every cell (primary and spare) fails independently with probability 1−p,
 // and the chip survives iff local reconfiguration repairs all faulty
@@ -354,30 +449,54 @@ func (mc *MonteCarlo) YieldContext(ctx context.Context, arr *layout.Array, p flo
 	return mc.run(ctx, mc.yieldTrials(arr, p))
 }
 
-// yieldTrials is the factory of the steady-state Bernoulli trial: inject
-// i.i.d. faults, then ask the worker's reconfiguration session for a
-// feasibility verdict (Session.Feasible short-circuits the all-healthy
-// draw before touching the matcher). Each worker owns its fault set and
-// session; after the factory's one-time construction the trial path is
-// allocation-free (pinned by the allocs regression tests).
+// yieldTrials is the factory of the steady-state Bernoulli trial program:
+// inject i.i.d. faults 64 trials per machine word, screen the all-healthy
+// trials with one popcount, and ask the worker's (memoizing) session for a
+// word-parallel feasibility verdict on the rest. Each worker owns its
+// batch and session; after the factory's one-time construction the trial
+// path is allocation-free (pinned by the allocs regression tests). The
+// scalar program behind forceScalar draws the identical PRNG stream and
+// produces the identical estimate.
 func (mc *MonteCarlo) yieldTrials(arr *layout.Array, p float64) trialFactory {
-	sample := mc.bernoulliSampler()
 	opts := mc.sessionOptions()
-	return func(probe *kernelProbe) (trialFunc, error) {
+	numCells := arr.NumCells()
+	return func(probe *kernelProbe) (trialProgram, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
-			return nil, err
+			return trialProgram{}, err
 		}
-		fs := defects.NewFaultSet(arr.NumCells())
-		return func(in *defects.Injector) (bool, error) {
-			fs = sample(in, arr, p, fs)
-			if fs.Count() == 0 {
-				probe.allHealthy++
-			} else {
-				probe.matcher++
+		mc.enableMemo(sess, probe)
+		if mc.forceScalar {
+			sample := mc.bernoulliSampler()
+			fs := defects.NewFaultSet(numCells)
+			return trialProgram{trial: func(in *defects.Injector) (bool, error) {
+				fs = sample(in, arr, p, fs)
+				if fs.Count() == 0 {
+					probe.allHealthy++
+				} else {
+					probe.matcher++
+				}
+				return sess.Feasible(fs)
+			}}, nil
+		}
+		inject := mc.bernoulliBatcher()
+		tb := defects.NewTrialBatch(numCells)
+		return trialProgram{batch: func(in *defects.Injector, runs int) (int, error) {
+			successes := 0
+			for off := 0; off < runs; off += defects.WordTrials {
+				n := runs - off
+				if n > defects.WordTrials {
+					n = defects.WordTrials
+				}
+				inject(in, numCells, p, n, tb)
+				s, err := feasBatchVerdicts(tb, sess, probe, n)
+				if err != nil {
+					return 0, err
+				}
+				successes += s
 			}
-			return sess.Feasible(fs)
-		}, nil
+			return successes, nil
+		}}, nil
 	}
 }
 
@@ -397,16 +516,20 @@ func (mc *MonteCarlo) YieldFixedFaultsContext(ctx context.Context, arr *layout.A
 }
 
 // fixedFaultsTrials is the factory of the fixed-count trial: exactly m
-// faults per draw (from the injector's cached pool), then a session verdict.
+// faults per draw (from the injector's cached pool), then a session
+// verdict. The draw has no batched form (partial Fisher–Yates is
+// inherently per-trial), but the session still memoizes: with m small the
+// pattern space is tiny and repeats are the common case.
 func (mc *MonteCarlo) fixedFaultsTrials(arr *layout.Array, m int, domain defects.Domain) trialFactory {
 	opts := mc.sessionOptions()
-	return func(probe *kernelProbe) (trialFunc, error) {
+	return func(probe *kernelProbe) (trialProgram, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
-			return nil, err
+			return trialProgram{}, err
 		}
+		mc.enableMemo(sess, probe)
 		fs := defects.NewFaultSet(arr.NumCells())
-		return func(in *defects.Injector) (bool, error) {
+		return trialProgram{trial: func(in *defects.Injector) (bool, error) {
 			next, err := in.FixedCount(arr, m, domain, fs)
 			if err != nil {
 				return false, err
@@ -418,7 +541,7 @@ func (mc *MonteCarlo) fixedFaultsTrials(arr *layout.Array, m int, domain defects
 				probe.matcher++
 			}
 			return sess.Feasible(fs)
-		}, nil
+		}}, nil
 	}
 }
 
@@ -436,20 +559,62 @@ func (mc *MonteCarlo) NoRedundancyMCContext(ctx context.Context, arr *layout.Arr
 	return mc.run(ctx, mc.noRedundancyTrials(arr, p))
 }
 
-// noRedundancyTrials is the factory of the baseline trial: the chip
-// survives iff no primary is faulty, checked without materializing the
-// faulty-primary list.
+// noRedundancyTrials is the factory of the baseline trial program: the
+// chip survives iff no primary is faulty. The batched form screens healthy
+// trials on the occupied mask and settles the rest with one AND against a
+// shared read-only primary bitset — no matcher, no session, no FaultSet.
 func (mc *MonteCarlo) noRedundancyTrials(arr *layout.Array, p float64) trialFactory {
-	sample := mc.bernoulliSampler()
-	return func(probe *kernelProbe) (trialFunc, error) {
-		fs := defects.NewFaultSet(arr.NumCells())
-		return func(in *defects.Injector) (bool, error) {
-			fs = sample(in, arr, p, fs)
-			if fs.Count() == 0 {
-				probe.allHealthy++
+	numCells := arr.NumCells()
+	primaryMask := make([]uint64, (numCells+63)/64) // read-only across workers
+	for _, id := range arr.Primaries() {
+		primaryMask[id>>6] |= uint64(1) << (uint(id) & 63)
+	}
+	return func(probe *kernelProbe) (trialProgram, error) {
+		if mc.forceScalar {
+			sample := mc.bernoulliSampler()
+			fs := defects.NewFaultSet(numCells)
+			return trialProgram{trial: func(in *defects.Injector) (bool, error) {
+				fs = sample(in, arr, p, fs)
+				if fs.Count() == 0 {
+					probe.allHealthy++
+				}
+				return !fs.AnyFaultyPrimary(arr), nil
+			}}, nil
+		}
+		inject := mc.bernoulliBatcher()
+		tb := defects.NewTrialBatch(numCells)
+		return trialProgram{batch: func(in *defects.Injector, runs int) (int, error) {
+			successes := 0
+			for off := 0; off < runs; off += defects.WordTrials {
+				n := runs - off
+				if n > defects.WordTrials {
+					n = defects.WordTrials
+				}
+				inject(in, numCells, p, n, tb)
+				occ := tb.Occupied()
+				healthy := n - bits.OnesCount64(occ)
+				probe.allHealthy += uint64(healthy)
+				successes += healthy
+				if occ == 0 {
+					continue
+				}
+				tb.Finalize()
+				for m := occ; m != 0; m &= m - 1 {
+					row := tb.Row(bits.TrailingZeros64(m))
+					primaryFault := false
+					for w, pm := range primaryMask {
+						if row[w]&pm != 0 {
+							primaryFault = true
+							break
+						}
+					}
+					if !primaryFault {
+						successes++
+					}
+				}
 			}
-			return !fs.AnyFaultyPrimary(arr), nil
-		}, nil
+			return successes, nil
+		}}, nil
 	}
 }
 
@@ -548,9 +713,9 @@ func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defect
 	}
 	if model.Clustered {
 		cp := model.Params(p, n)
-		return func(probe *kernelProbe) (trialFunc, error) {
+		return func(probe *kernelProbe) (trialProgram, error) {
 			fs := defects.NewFaultSet(n)
-			return func(in *defects.Injector) (bool, error) {
+			return trialProgram{trial: func(in *defects.Injector) (bool, error) {
 				next, _, err := in.ClusteredGrid(w, h, cp, fs)
 				if err != nil {
 					return false, err
@@ -562,13 +727,13 @@ func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defect
 					probe.matcher++
 				}
 				return cascadesRepairAll(fs), nil
-			}, nil
+			}}, nil
 		}, nil
 	}
 	sample := mc.bernoulliSamplerN()
-	return func(probe *kernelProbe) (trialFunc, error) {
+	return func(probe *kernelProbe) (trialProgram, error) {
 		fs := defects.NewFaultSet(n)
-		return func(in *defects.Injector) (bool, error) {
+		return trialProgram{trial: func(in *defects.Injector) (bool, error) {
 			fs = sample(in, n, p, fs)
 			if fs.Count() == 0 {
 				probe.allHealthy++
@@ -576,7 +741,7 @@ func (mc *MonteCarlo) shiftedTrials(pl sqgrid.Placement, p float64, model defect
 				probe.matcher++
 			}
 			return cascadesRepairAll(fs), nil
-		}, nil
+		}}, nil
 	}, nil
 }
 
@@ -600,29 +765,53 @@ func (mc *MonteCarlo) YieldModelContext(ctx context.Context, arr *layout.Array, 
 	return mc.run(ctx, mc.clusteredTrials(arr, cp))
 }
 
-// clusteredTrials is the factory of the clustered-defect trial: a
-// center-seeded cluster draw, then a session verdict.
+// clusteredTrials is the factory of the clustered-defect trial program:
+// word-packed center-seeded cluster draws, an all-healthy popcount screen,
+// then memoized session verdicts for the occupied trials.
 func (mc *MonteCarlo) clusteredTrials(arr *layout.Array, cp defects.ClusterParams) trialFactory {
 	opts := mc.sessionOptions()
-	return func(probe *kernelProbe) (trialFunc, error) {
+	numCells := arr.NumCells()
+	return func(probe *kernelProbe) (trialProgram, error) {
 		sess, err := reconfig.NewSession(arr, opts)
 		if err != nil {
-			return nil, err
+			return trialProgram{}, err
 		}
-		fs := defects.NewFaultSet(arr.NumCells())
-		return func(in *defects.Injector) (bool, error) {
-			next, _, err := in.Clustered(arr, cp, fs)
-			if err != nil {
-				return false, err
+		mc.enableMemo(sess, probe)
+		if mc.forceScalar {
+			fs := defects.NewFaultSet(numCells)
+			return trialProgram{trial: func(in *defects.Injector) (bool, error) {
+				next, _, err := in.Clustered(arr, cp, fs)
+				if err != nil {
+					return false, err
+				}
+				fs = next
+				if fs.Count() == 0 {
+					probe.allHealthy++
+				} else {
+					probe.matcher++
+				}
+				return sess.Feasible(fs)
+			}}, nil
+		}
+		tb := defects.NewTrialBatch(numCells)
+		return trialProgram{batch: func(in *defects.Injector, runs int) (int, error) {
+			successes := 0
+			for off := 0; off < runs; off += defects.WordTrials {
+				n := runs - off
+				if n > defects.WordTrials {
+					n = defects.WordTrials
+				}
+				if _, err := in.ClusteredBatch(arr, cp, n, tb); err != nil {
+					return 0, err
+				}
+				s, err := feasBatchVerdicts(tb, sess, probe, n)
+				if err != nil {
+					return 0, err
+				}
+				successes += s
 			}
-			fs = next
-			if fs.Count() == 0 {
-				probe.allHealthy++
-			} else {
-				probe.matcher++
-			}
-			return sess.Feasible(fs)
-		}, nil
+			return successes, nil
+		}}, nil
 	}
 }
 

@@ -659,9 +659,9 @@ func TestShiftedYieldMatchesShiftSessionReference(t *testing.T) {
 		numCells := pl.Grid.NumCells()
 		ref := NewMonteCarlo(123)
 		ref.Runs = 800
-		want, err := ref.run(context.Background(), func(_ *kernelProbe) (trialFunc, error) {
+		want, err := ref.run(context.Background(), func(_ *kernelProbe) (trialProgram, error) {
 			fs := defects.NewFaultSet(numCells)
-			return func(in *defects.Injector) (bool, error) {
+			return trialProgram{trial: func(in *defects.Injector) (bool, error) {
 				fs = in.BernoulliN(numCells, 0.9, fs)
 				if fs.Count() == 0 {
 					return true, nil
@@ -685,7 +685,7 @@ func TestShiftedYieldMatchesShiftSessionReference(t *testing.T) {
 					}
 				}
 				return true, nil
-			}, nil
+			}}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
