@@ -243,6 +243,46 @@ func BenchmarkMonteCarloKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveHighSurvival quantifies precision-targeted early stopping
+// in the regime it was built for: p = 0.999, where the proportion is so
+// lopsided that the Wilson half-width collapses long before a worst-case
+// fixed budget is spent. Both sides answer the same question to the same
+// guaranteed precision; "fixed" pays the full a-priori trial count while
+// "adaptive" stops at the first chunk boundary whose realized half-width
+// meets epsilon.
+func BenchmarkAdaptiveHighSurvival(b *testing.B) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 20000
+	b.Run("fixed", func(b *testing.B) {
+		mc := yieldsim.NewMonteCarlo(1)
+		mc.Runs = budget
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mc.Yield(arr, 0.999); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		mc := yieldsim.NewMonteCarlo(1)
+		mc.Runs = budget
+		mc.Epsilon = 0.002
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := mc.Yield(arr, 0.999)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Runs >= budget {
+				b.Fatalf("adaptive pass never stopped early (%d trials)", res.Runs)
+			}
+		}
+	})
+}
+
 // BenchmarkFootprintComparison regenerates the square-vs-hexagonal footprint
 // figure (local and hex sweep strategies through the sweep engine).
 func BenchmarkFootprintComparison(b *testing.B) {

@@ -54,6 +54,7 @@ type options struct {
 	spareRows, defectModels         string
 	clusterSize                     float64
 	runs                            int
+	epsilon                         float64
 	seed                            int64
 	workers, chunkSize              int
 	format, outPath                 string
@@ -75,6 +76,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.defectModels, "defect-models", "independent", "comma-separated spatial defect models: independent, clustered")
 	fs.Float64Var(&o.clusterSize, "cluster-size", 0, "expected faulty cells per cluster for the clustered defect model (0 = default 4)")
 	fs.IntVar(&o.runs, "runs", 10000, "Monte-Carlo runs per grid point")
+	fs.Float64Var(&o.epsilon, "epsilon", 0, "target 95% CI half-width per grid point; >0 stops each estimate early once reached, with -runs as the trial budget")
 	fs.Int64Var(&o.seed, "seed", 20050307, "PRNG seed (same seed, same grid: same output)")
 	fs.IntVar(&o.workers, "workers", 0, "goroutines per simulation (0 = GOMAXPROCS); never affects results")
 	fs.IntVar(&o.chunkSize, "chunk-size", 0, "trials per Monte-Carlo work unit (0 = default 256); part of the determinism contract")
@@ -126,6 +128,7 @@ func main() {
 		ClusterSize:  o.clusterSize,
 		Runs:         o.runs,
 		Seed:         o.seed,
+		Epsilon:      o.epsilon,
 	}
 
 	if o.format != "csv" && o.format != "ndjson" {

@@ -39,6 +39,7 @@ func main() {
 		pmax       = flag.Float64("pmax", 1.00, "highest cell survival probability")
 		points     = flag.Int("points", 11, "number of sweep points")
 		runs       = flag.Int("runs", 10000, "Monte-Carlo runs per point")
+		epsilon    = flag.Float64("epsilon", 0, "target 95% CI half-width per point; >0 stops each estimate early once reached, with -runs as the trial budget")
 		seed       = flag.Int64("seed", 20050307, "PRNG seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		analytic   = flag.Bool("analytic", false, "also print the DTMB(1,6) closed-form and no-redundancy baselines")
@@ -95,6 +96,7 @@ func main() {
 					P:        p,
 					Runs:     *runs,
 					Seed:     *seed,
+					Epsilon:  *epsilon,
 				})
 				if err != nil {
 					fail(err)
@@ -110,6 +112,7 @@ func main() {
 			}
 			mc := yieldsim.NewMonteCarlo(*seed)
 			mc.Runs = *runs
+			mc.Epsilon = *epsilon
 			for _, p := range ps {
 				res, err := mc.Yield(arr, p)
 				if err != nil {

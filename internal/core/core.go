@@ -265,10 +265,15 @@ func (s Status) String() string {
 
 // YieldAnalysis bundles the yield figures for one design at one p.
 type YieldAnalysis struct {
-	Design         string
-	P              float64
-	NPrimary       int
-	NTotal         int
+	Design   string
+	P        float64
+	NPrimary int
+	NTotal   int
+	// Runs and Successes are the realized Monte-Carlo counts behind Yield.
+	// Under precision-targeted sampling Runs is where the stopping rule
+	// fired, which may be far below the requested budget.
+	Runs           int
+	Successes      int
 	Yield          float64
 	CILo, CIHi     float64
 	EffectiveYield float64
@@ -285,6 +290,12 @@ type SimParams struct {
 	Seed      int64
 	Workers   int
 	ChunkSize int
+	// Epsilon, when positive, makes the simulation precision-targeted: it
+	// stops at the first deterministic chunk boundary where the Wilson 95%
+	// half-width reaches Epsilon, with Runs acting as the trial budget. The
+	// realized count is reported in YieldAnalysis.Runs. Zero keeps the
+	// classic fixed-run behavior bit-for-bit.
+	Epsilon float64
 	// Metrics, when non-nil, is handed to the built simulator so kernel
 	// trial/chunk observations land in the caller's telemetry registry.
 	Metrics *telemetry.KernelMetrics
@@ -304,6 +315,7 @@ func (sp SimParams) MonteCarlo() *yieldsim.MonteCarlo {
 	}
 	mc.Workers = sp.Workers
 	mc.ChunkSize = sp.ChunkSize
+	mc.Epsilon = sp.Epsilon
 	mc.Metrics = sp.Metrics
 	mc.Logger = sp.Logger
 	return mc
@@ -329,6 +341,8 @@ func (b *Biochip) AnalyzeYieldContext(ctx context.Context, p float64, sp SimPara
 		P:              p,
 		NPrimary:       b.arr.NumPrimary(),
 		NTotal:         b.arr.NumCells(),
+		Runs:           res.Runs,
+		Successes:      res.Successes,
 		Yield:          res.Yield,
 		CILo:           res.CILo,
 		CIHi:           res.CIHi,

@@ -26,6 +26,10 @@ type cacheKey struct {
 	// defect-model axis ("yield", "recommend").
 	model       string
 	clusterSize float64
+	// epsilon is the precision target of adaptive estimates; 0 for fixed-run
+	// requests (including every v1 request), which keeps pre-epsilon keys
+	// shared with epsilon-free v2 requests.
+	epsilon float64
 }
 
 // resultCache is a mutex-guarded LRU of finished responses.

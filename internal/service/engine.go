@@ -119,8 +119,10 @@ func NewEngine(cfg EngineConfig) *Engine {
 func (e *Engine) Registry() *telemetry.Registry { return e.metrics.registry }
 
 // simParams assembles the core simulation parameters for a request, wiring
-// in the engine's kernel instrumentation and logger.
-func (e *Engine) simParams(runs int, seed int64) core.SimParams {
+// in the engine's kernel instrumentation and logger. epsilon > 0 makes the
+// simulation precision-targeted with runs as the trial budget; v1 endpoints
+// pass 0 (fixed-run, bit-identical to the pre-epsilon engine).
+func (e *Engine) simParams(runs int, seed int64, epsilon float64) core.SimParams {
 	if runs <= 0 {
 		runs = e.cfg.DefaultRuns
 	}
@@ -129,6 +131,7 @@ func (e *Engine) simParams(runs int, seed int64) core.SimParams {
 		Seed:      seed,
 		Workers:   e.cfg.Workers,
 		ChunkSize: e.cfg.ChunkSize,
+		Epsilon:   epsilon,
 		Metrics:   e.metrics.kernel,
 		Logger:    e.logger,
 	}
@@ -246,8 +249,9 @@ func yieldResponse(ya core.YieldAnalysis, runs int, seed int64) YieldResponse {
 }
 
 // yieldResponseOf converts an evaluated local-strategy scenario to the v1
-// wire type; with yieldPointResult it round-trips exactly, which is what
-// keeps the v1 adapter byte-identical to the pre-scenario handlers.
+// wire type; with analysisPointResult it round-trips exactly (the wire type
+// simply never carries the success count), which is what keeps the v1
+// adapter byte-identical to the pre-scenario handlers.
 func yieldResponseOf(res sweep.PointResult) YieldResponse {
 	return YieldResponse{
 		Design:         res.Design,
@@ -265,25 +269,28 @@ func yieldResponseOf(res sweep.PointResult) YieldResponse {
 	}
 }
 
-// yieldPointResult converts a v1 yield response to the scenario-core result
-// type the "yield" cache namespace stores (the inverse of yieldResponseOf).
-func yieldPointResult(yr YieldResponse) sweep.PointResult {
+// analysisPointResult converts a core yield analysis to the scenario-core
+// result type the "yield" cache namespace stores. Built from the analysis —
+// not the v1 wire response — so the raw success count survives into the
+// cache (the v1 wire type never carried it).
+func analysisPointResult(ya core.YieldAnalysis, seed int64) sweep.PointResult {
 	return sweep.PointResult{
 		Point: sweep.Point{Scenario: sweep.Scenario{
 			Strategy:    sweep.Local,
-			Design:      yr.Design,
-			NPrimary:    yr.NPrimary,
-			P:           yr.P,
+			Design:      ya.Design,
+			NPrimary:    ya.NPrimary,
+			P:           ya.P,
 			DefectModel: sweep.Independent,
 		}},
-		NTotal:         yr.NTotal,
-		Runs:           yr.Runs,
-		Seed:           yr.Seed,
-		Yield:          yr.Yield,
-		CILo:           yr.CILo,
-		CIHi:           yr.CIHi,
-		EffectiveYield: yr.EffectiveYield,
-		NoRedundancy:   yr.NoRedundancy,
+		NTotal:         ya.NTotal,
+		Runs:           ya.Runs,
+		Seed:           seed,
+		Successes:      ya.Successes,
+		Yield:          ya.Yield,
+		CILo:           ya.CILo,
+		CIHi:           ya.CIHi,
+		EffectiveYield: ya.EffectiveYield,
+		NoRedundancy:   ya.NoRedundancy,
 	}
 }
 
@@ -298,7 +305,7 @@ func (e *Engine) Yield(ctx context.Context, req YieldRequest) (YieldResponse, er
 	if err != nil {
 		return YieldResponse{}, err
 	}
-	sp := e.simParams(req.Runs, req.Seed)
+	sp := e.simParams(req.Runs, req.Seed, 0)
 	if err := validateWork(sp.Runs, req.NPrimary); err != nil {
 		return YieldResponse{}, err
 	}
@@ -321,7 +328,7 @@ func (e *Engine) Recommend(ctx context.Context, req RecommendRequest) (Recommend
 	if err := req.validate(); err != nil {
 		return RecommendResponse{}, err
 	}
-	sp := e.simParams(req.Runs, req.Seed)
+	sp := e.simParams(req.Runs, req.Seed, 0)
 	// A recommendation simulates every canonical design, so the work cap
 	// applies to the whole fan-out, not a single design's share.
 	if err := validateWork(sp.Runs*len(layout.AllDesigns()), req.NPrimary); err != nil {
@@ -346,7 +353,7 @@ func (e *Engine) Recommend(ctx context.Context, req RecommendRequest) (Recommend
 			// after a recommendation is the natural next request, and the
 			// simulation parameters are identical. The namespace stores
 			// scenario-core results, so convert before seeding.
-			e.cache.Add(cacheKey{kind: "yield", design: yr.Design, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}, yieldPointResult(yr))
+			e.cache.Add(cacheKey{kind: "yield", design: yr.Design, nPrimary: req.NPrimary, p: req.P, runs: sp.Runs, seed: sp.Seed}, analysisPointResult(ya, sp.Seed))
 		}
 		return resp, nil
 	})
@@ -442,6 +449,7 @@ func (e *Engine) Stats() StatsResponse {
 		KernelAllHealthy:         e.metrics.kernel.AllHealthy.Value(),
 		KernelMatcherInvocations: e.metrics.kernel.MatcherInvocations.Value(),
 		KernelChunks:             e.metrics.kernel.ChunkSeconds.Count(),
+		KernelEarlyStops:         e.metrics.kernel.EarlyStops.Value(),
 
 		AdmissionWaits:            e.metrics.admissionWait.Count(),
 		AdmissionWaitSecondsTotal: e.metrics.admissionWait.Sum(),

@@ -212,6 +212,10 @@ func sweepHandler(e *Engine) http.HandlerFunc {
 		flushes := e.metrics.streamFlushes.With("sweep")
 		enc := json.NewEncoder(w)
 		err = e.RunSweep(r.Context(), plan, func(rec SweepRecord) error {
+			// The v1 stream predates the successes/epsilon fields; suppress
+			// them here to keep its bytes frozen. The v2 job stream carries
+			// both.
+			rec.Successes, rec.Epsilon = 0, 0
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}

@@ -38,6 +38,14 @@ type ScenarioRequest struct {
 	Runs int `json:"runs,omitempty"`
 	// Seed makes the estimate reproducible; identical requests hit the cache.
 	Seed int64 `json:"seed,omitempty"`
+	// Epsilon, when positive, makes the estimate precision-targeted: the
+	// kernel stops at the first deterministic chunk boundary where the
+	// Wilson 95% half-width reaches epsilon, with runs as the trial budget.
+	// The response's runs field reports the realized count. Must be in
+	// [0, 1); 0 keeps the classic fixed-run behavior. The realized count and
+	// estimate are deterministic in (seed, epsilon, runs), so adaptive
+	// results cache exactly like fixed-run ones.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // resolve validates the request against the service resource bounds and
@@ -67,6 +75,9 @@ func (r *ScenarioRequest) resolve() (sweep.Scenario, error) {
 	}
 	if r.Runs < 0 || r.Runs > MaxRuns {
 		return sweep.Scenario{}, invalidf("runs must be in [0,%d], got %d", MaxRuns, r.Runs)
+	}
+	if err := validateEpsilon(r.Epsilon); err != nil {
+		return sweep.Scenario{}, err
 	}
 	if r.SpareRows < 0 || r.SpareRows > MaxNPrimary {
 		return sweep.Scenario{}, invalidf("spare_rows must be in [0,%d], got %d", MaxNPrimary, r.SpareRows)
@@ -121,9 +132,17 @@ type ScenarioRecord struct {
 	ClusterSize float64 `json:"cluster_size,omitempty"`
 	NTotal      int     `json:"n_total"`
 	P           float64 `json:"p"`
-	// Runs is 0 for closed-form (none-strategy) scenarios.
-	Runs           int     `json:"runs"`
-	Seed           int64   `json:"seed"`
+	// Runs is the realized Monte-Carlo trial count — under a precision
+	// target the stopping boundary, not the requested budget — and 0 for
+	// closed-form (none-strategy) scenarios.
+	Runs int   `json:"runs"`
+	Seed int64 `json:"seed"`
+	// Successes is the raw Monte-Carlo success count behind the yield
+	// proportion; omitted for closed-form scenarios.
+	Successes int `json:"successes,omitempty"`
+	// Epsilon echoes the precision target the scenario was evaluated under;
+	// omitted for fixed-run evaluation.
+	Epsilon        float64 `json:"epsilon,omitempty"`
 	Yield          float64 `json:"yield"`
 	CILo           float64 `json:"ci_lo"`
 	CIHi           float64 `json:"ci_hi"`
@@ -145,6 +164,8 @@ func scenarioRecord(r sweep.PointResult) ScenarioRecord {
 		P:              r.P,
 		Runs:           r.Runs,
 		Seed:           r.Seed,
+		Successes:      r.Successes,
+		Epsilon:        r.Epsilon,
 		Yield:          r.Yield,
 		CILo:           r.CILo,
 		CIHi:           r.CIHi,
@@ -163,7 +184,7 @@ func (e *Engine) EvaluateScenario(ctx context.Context, req ScenarioRequest) (Sce
 	if err != nil {
 		return ScenarioRecord{}, err
 	}
-	sp := e.simParams(req.Runs, req.Seed)
+	sp := e.simParams(req.Runs, req.Seed, req.Epsilon)
 	cells, err := scenarioCells(sc)
 	if err != nil {
 		return ScenarioRecord{}, invalidf("%v", err)
@@ -221,6 +242,7 @@ func (e *Engine) evalScenario(ctx context.Context, sc sweep.Scenario, sp core.Si
 			p:        sc.P,
 			runs:     sp.Runs,
 			seed:     sp.Seed,
+			epsilon:  sp.Epsilon,
 		}, pt, sp)
 	case sc.Strategy == sweep.Local:
 		return e.cachedScenario(ctx, scenarioKey("local-clustered", pt, sp), pt, sp)
@@ -244,6 +266,7 @@ func scenarioKey(kind string, pt sweep.Point, sp core.SimParams) cacheKey {
 		spare:       pt.SpareRows,
 		model:       string(pt.DefectModel),
 		clusterSize: pt.ClusterSize,
+		epsilon:     sp.Epsilon,
 	}
 }
 

@@ -26,6 +26,9 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 	if req.Runs < 0 || req.Runs > MaxRuns {
 		return nil, invalidf("runs must be in [0,%d], got %d", MaxRuns, req.Runs)
 	}
+	if err := validateEpsilon(req.Epsilon); err != nil {
+		return nil, err
+	}
 	// Bound the p axis before NumPoints/Expand: PValues materializes
 	// p_points floats, so a huge count must be rejected before it can
 	// allocate, not after.
@@ -137,7 +140,9 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 	if err != nil {
 		return nil, invalidf("%v", err)
 	}
-	sp := e.simParams(req.Runs, req.Seed)
+	// Work bounds are checked against the trial budget; a precision target
+	// can only stop earlier, so the budget is the admissible worst case.
+	sp := e.simParams(req.Runs, req.Seed, req.Epsilon)
 	var totalWork int64
 	for _, pt := range pts {
 		cells, err := scenarioCells(pt.Scenario)

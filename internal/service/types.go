@@ -72,6 +72,17 @@ func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidRequest, fmt.Sprintf(format, args...))
 }
 
+// validateEpsilon bounds a request's precision target. Zero disables
+// adaptive sampling; a meaningful half-width target is strictly inside
+// (0, 1) — a proportion's 95% half-width can never reach 1, so epsilon ≥ 1
+// is a confused request, not a cheap one.
+func validateEpsilon(eps float64) error {
+	if math.IsNaN(eps) || eps < 0 || eps >= 1 {
+		return invalidf("epsilon must be in [0,1), got %v", eps)
+	}
+	return nil
+}
+
 // resolveDesign maps a wire-level design name to a layout.Design. It accepts
 // the paper's names ("DTMB(2,6)") and compact aliases ("dtmb26"),
 // case-insensitively.
@@ -251,6 +262,12 @@ type SweepRequest struct {
 	Runs int `json:"runs,omitempty"`
 	// Seed makes every grid point reproducible and cacheable.
 	Seed int64 `json:"seed,omitempty"`
+	// Epsilon, when positive, makes every Monte-Carlo grid point
+	// precision-targeted: the kernel stops at the first deterministic chunk
+	// boundary where the Wilson 95% half-width reaches epsilon, with runs as
+	// the per-point trial budget. Each record's runs field reports the
+	// realized count. Must be in [0, 1); 0 keeps fixed-run behavior.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // SweepRecord is one NDJSON line of a sweep response: the grid point's
@@ -302,6 +319,9 @@ type StatsResponse struct {
 	KernelAllHealthy         uint64 `json:"kernel_all_healthy"`
 	KernelMatcherInvocations uint64 `json:"kernel_matcher_invocations"`
 	KernelChunks             uint64 `json:"kernel_chunks"`
+	// KernelEarlyStops counts precision-targeted estimates that met their
+	// epsilon before exhausting the trial budget.
+	KernelEarlyStops uint64 `json:"kernel_early_stops"`
 
 	// AdmissionWaits counts admissions through the engine's semaphore;
 	// AdmissionWaitSecondsTotal sums the time they spent queued.

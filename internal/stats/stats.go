@@ -102,10 +102,115 @@ func (p Proportion) Wilson95() (lo, hi float64) {
 	return lo, hi
 }
 
+// Wilson95Half returns the half-width of the unclamped Wilson score 95%
+// interval. The reported Wilson95 bounds are clamped to [0,1], so their
+// spread never exceeds twice this value — which makes the unclamped
+// half-width the conservative quantity for precision targets: once it is at
+// or below ε, the reported interval is too.
+func (p Proportion) Wilson95Half() float64 {
+	if p.Trials == 0 {
+		return math.Inf(1)
+	}
+	n := float64(p.Trials)
+	phat := p.Value()
+	z := z95
+	return z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / (1 + z*z/n)
+}
+
 // Contains reports whether the Wilson 95% interval contains v.
 func (p Proportion) Contains(v float64) bool {
 	lo, hi := p.Wilson95()
 	return v >= lo && v <= hi
+}
+
+// SequentialCI is the mid-stream stopping rule of precision-targeted
+// Monte-Carlo sampling: stop as soon as the running success proportion's
+// Wilson 95% half-width reaches the target Epsilon. Checking the Wilson
+// width (rather than the normal-approximation width) keeps the rule sound
+// at proportions near 0 and 1, exactly where yield estimates sit and where
+// early stopping pays off most.
+//
+// Repeatedly testing a confidence interval mid-stream makes the realized
+// coverage slightly below the nominal 95% (the usual sequential-testing
+// caveat); the kernel mitigates this by evaluating the rule only at chunk
+// boundaries, never per trial, and the estimate itself stays unbiased.
+type SequentialCI struct {
+	// Epsilon is the target 95% half-width; zero or negative disables the
+	// rule (Satisfied never fires).
+	Epsilon float64
+}
+
+// Enabled reports whether the rule can ever fire.
+func (s SequentialCI) Enabled() bool { return s.Epsilon > 0 }
+
+// Satisfied reports whether an estimate with the given counts already meets
+// the precision target.
+func (s SequentialCI) Satisfied(successes, trials int) bool {
+	if !s.Enabled() || trials <= 0 {
+		return false
+	}
+	return Proportion{Successes: successes, Trials: trials}.Wilson95Half() <= s.Epsilon
+}
+
+// BinomialWeights returns the head of the Binomial(n, q) probability mass
+// function — weights[k] = P(K = k) for k = 0..kMax — extended until the
+// remaining upper tail mass is at most maxTail, which is returned exactly as
+// 1 − Σ weights. The head is computed by the stable ratio recurrence
+// P(0) = exp(n·ln(1−q)), P(k+1) = P(k)·(n−k)/(k+1)·q/(1−q), so no factorials
+// overflow and no alternating sums cancel. It is the fault-count
+// stratification weight function: with every cell failing i.i.d. with
+// probability q, weights[k] is the probability a trial draws exactly k
+// faults.
+func BinomialWeights(n int, q, maxTail float64) (weights []float64, tail float64) {
+	if n < 0 {
+		return nil, 0
+	}
+	if q <= 0 {
+		return []float64{1}, 0
+	}
+	if q >= 1 {
+		weights = make([]float64, n+1)
+		weights[n] = 1
+		return weights, 0
+	}
+	if maxTail < 0 {
+		maxTail = 0
+	}
+	ratio := q / (1 - q)
+	pk := math.Exp(float64(n) * math.Log1p(-q))
+	cum := 0.0
+	for k := 0; k <= n; k++ {
+		weights = append(weights, pk)
+		cum += pk
+		if 1-cum <= maxTail {
+			break
+		}
+		pk *= float64(n-k) / float64(k+1) * ratio
+	}
+	tail = 1 - cum
+	if tail < 0 {
+		tail = 0
+	}
+	return weights, tail
+}
+
+// PoissonBinomialPMF returns the full probability mass function of the
+// number of successes among independent Bernoulli trials with the given
+// per-trial probabilities qs: pmf[k] = P(K = k), k = 0..len(qs). It is the
+// heterogeneous generalization of BinomialWeights, computed by the standard
+// O(n²) convolution recurrence; BinomialWeights(n, q, 0) equals
+// PoissonBinomialPMF of n copies of q.
+func PoissonBinomialPMF(qs []float64) []float64 {
+	pmf := make([]float64, 1, len(qs)+1)
+	pmf[0] = 1
+	for _, q := range qs {
+		pmf = append(pmf, 0)
+		for k := len(pmf) - 1; k > 0; k-- {
+			pmf[k] = pmf[k]*(1-q) + pmf[k-1]*q
+		}
+		pmf[0] *= 1 - q
+	}
+	return pmf
 }
 
 // Series is a named (x, y) sequence, one curve of a paper figure.
@@ -186,17 +291,33 @@ func (t Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values (no quoting; callers keep
-// cells free of commas).
+// CSV renders the table as RFC-4180 comma-separated values: cells containing
+// commas, double quotes, or line breaks are quoted, with embedded quotes
+// doubled; all other cells render byte-identically to their input.
 func (t Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvCell(cell))
+		}
 		b.WriteByte('\n')
 	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
 	return b.String()
+}
+
+// csvCell quotes one CSV cell per RFC 4180 when it needs it.
+func csvCell(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Linspace returns n evenly spaced values from lo to hi inclusive.

@@ -18,9 +18,17 @@ type PointResult struct {
 	// spares; equals NPrimary for the no-redundancy strategy).
 	NTotal int
 	// Runs and Seed record the Monte-Carlo parameters that produced the
-	// estimate. Runs is 0 for closed-form (no-redundancy) points.
+	// estimate. Runs is the *realized* trial count — under precision-targeted
+	// sampling the stopping boundary, not the requested budget — and 0 for
+	// closed-form (no-redundancy) points.
 	Runs int
 	Seed int64
+	// Successes is the raw Monte-Carlo success count behind Yield (0 for
+	// closed-form points, where Yield is exact rather than a proportion).
+	Successes int
+	// Epsilon is the precision target the point was evaluated under (0 for
+	// fixed-run evaluation and closed forms).
+	Epsilon float64
 	// Yield is the estimated (or exact) yield, with its Wilson 95% interval.
 	Yield, CILo, CIHi float64
 	// EffectiveYield is Y·n/N, the paper's yield-per-area metric.
@@ -33,13 +41,14 @@ type PointResult struct {
 }
 
 // YieldResult converts the estimate back to a yieldsim.Result for consumers
-// of the older sweep-free APIs. Successes is reconstructed from the yield
-// proportion, which is exact because the proportion is a ratio of integers.
+// of the older sweep-free APIs. Successes is carried through from the kernel
+// rather than reconstructed from the proportion, so closed-form and cached
+// points (Runs == 0) round-trip faithfully.
 func (r PointResult) YieldResult() yieldsim.Result {
 	return yieldsim.Result{
 		Yield:     r.Yield,
 		Runs:      r.Runs,
-		Successes: int(math.Round(r.Yield * float64(r.Runs))),
+		Successes: r.Successes,
 		CILo:      r.CILo,
 		CIHi:      r.CIHi,
 	}
@@ -64,6 +73,14 @@ func Evaluate(ctx context.Context, pt Point, sp core.SimParams) (PointResult, er
 // sweep runner, the service engine (with its cache in front), and the v2
 // evaluate endpoint all funnel through this one switch.
 func EvaluateScenario(ctx context.Context, sc Scenario, sp core.SimParams) (PointResult, error) {
+	// Normalize + validate up front so defaults (defect model, cluster size)
+	// apply on every path into the switch. Before this guard a zero
+	// ClusterSize reached the None+Clustered closed form below and produced
+	// exp(-Inf) = 0 silently.
+	sc = sc.Normalize()
+	if err := sc.Validate(); err != nil {
+		return PointResult{}, fmt.Errorf("invalid scenario: %w", err)
+	}
 	pt := Point{Scenario: sc}
 	switch pt.Strategy {
 	case None:
@@ -112,8 +129,10 @@ func EvaluateScenario(ctx context.Context, sc Scenario, sp core.SimParams) (Poin
 		return PointResult{
 			Point:          pt,
 			NTotal:         ya.NTotal,
-			Runs:           sp.MonteCarlo().Runs,
+			Runs:           ya.Runs,
 			Seed:           sp.Seed,
+			Successes:      ya.Successes,
+			Epsilon:        sp.Epsilon,
 			Yield:          ya.Yield,
 			CILo:           ya.CILo,
 			CIHi:           ya.CIHi,
@@ -155,6 +174,8 @@ func modelPointResult(pt Point, sp core.SimParams, res yieldsim.Result, nPrimary
 		NTotal:         nTotal,
 		Runs:           res.Runs,
 		Seed:           sp.Seed,
+		Successes:      res.Successes,
+		Epsilon:        sp.Epsilon,
 		Yield:          res.Yield,
 		CILo:           res.CILo,
 		CIHi:           res.CIHi,

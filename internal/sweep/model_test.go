@@ -123,6 +123,44 @@ func TestEvaluateClusteredNoneClosedForm(t *testing.T) {
 	}
 }
 
+// TestEvaluateClusteredNoneDefaultsClusterSize is the regression pin for the
+// unguarded division: a zero ClusterSize on the direct Evaluate path used to
+// reach the closed form as exp(-Inf) = 0 silently. It must normalize to the
+// default cluster size instead.
+func TestEvaluateClusteredNoneDefaultsClusterSize(t *testing.T) {
+	pt := Point{Scenario: Scenario{Strategy: None, NPrimary: 40, P: 0.95, DefectModel: Clustered}}
+	res, err := Evaluate(context.Background(), pt, core.SimParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-0.05 * 40 / DefaultClusterSize)
+	if math.Abs(res.Yield-want) > 1e-12 {
+		t.Errorf("zero cluster size: yield %v, want default-size closed form %v", res.Yield, want)
+	}
+	if res.Yield == 0 {
+		t.Error("zero cluster size still collapses the closed form to 0")
+	}
+	if res.ClusterSize != DefaultClusterSize {
+		t.Errorf("result cluster size %v, want normalized default %v", res.ClusterSize, DefaultClusterSize)
+	}
+}
+
+// TestEvaluateScenarioRejectsInvalid checks EvaluateScenario validates up
+// front: unnormalizable cluster sizes and malformed axes return an
+// invalid-scenario error instead of silently computing nonsense.
+func TestEvaluateScenarioRejectsInvalid(t *testing.T) {
+	for name, sc := range map[string]Scenario{
+		"cluster size below 1": {Strategy: None, NPrimary: 40, P: 0.95, DefectModel: Clustered, ClusterSize: 0.5},
+		"cluster size NaN":     {Strategy: None, NPrimary: 40, P: 0.95, DefectModel: Clustered, ClusterSize: math.NaN()},
+		"negative p":           {Strategy: None, NPrimary: 40, P: -0.1},
+		"no primaries":         {Strategy: None, NPrimary: 0, P: 0.95},
+	} {
+		if _, err := EvaluateScenario(context.Background(), sc, core.SimParams{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestEvaluateClusteredLocalAndShifted(t *testing.T) {
 	sp := core.SimParams{Runs: 300, Seed: 2}
 	for _, pt := range []Point{

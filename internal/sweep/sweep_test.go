@@ -322,12 +322,19 @@ func TestEvaluateUnknownStrategy(t *testing.T) {
 	}
 }
 
-func TestYieldResultReconstructsSuccesses(t *testing.T) {
+func TestYieldResultCarriesSuccesses(t *testing.T) {
 	for _, succ := range []int{0, 1, 123, 400} {
-		r := PointResult{Runs: 400, Yield: float64(succ) / 400}
+		r := PointResult{Runs: 400, Successes: succ, Yield: float64(succ) / 400}
 		if got := r.YieldResult().Successes; got != succ {
 			t.Errorf("successes %d, want %d", got, succ)
 		}
+	}
+	// The old reconstruction (round(Yield·Runs)) reported 0 successes for
+	// closed-form and cached points, where Runs is 0; carried successes must
+	// survive that case.
+	cached := PointResult{Runs: 0, Successes: 37, Yield: 37.0 / 400}
+	if got := cached.YieldResult().Successes; got != 37 {
+		t.Errorf("cached-point successes %d, want 37", got)
 	}
 }
 

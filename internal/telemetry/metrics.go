@@ -29,7 +29,18 @@ type KernelMetrics struct {
 	// ChunkSeconds observes the wall time of each completed kernel chunk;
 	// its Count is the number of chunks executed.
 	ChunkSeconds *Histogram
+	// EarlyStops counts precision-targeted estimates that met their epsilon
+	// before exhausting the trial budget; RealizedRuns observes the realized
+	// trial count of every precision-targeted estimate (early-stopped or
+	// budget-exhausted), so the two together say how often and how hard
+	// adaptive sampling pays off.
+	EarlyStops   *Counter
+	RealizedRuns *Histogram
 }
+
+// realizedRunsBuckets spans the realized-trial-count range from a single
+// chunk to the MaxRuns service cap in decade-ish steps.
+var realizedRunsBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576}
 
 // NewKernelMetrics registers the kernel instrument set on r (nil r yields
 // working, unregistered instruments).
@@ -41,6 +52,8 @@ func NewKernelMetrics(r *Registry) *KernelMetrics {
 		MemoHits:           r.Counter("dmfb_kernel_memo_hits_total", "Feasibility decisions served from the fault-pattern memo."),
 		MemoMisses:         r.Counter("dmfb_kernel_memo_misses_total", "Feasibility memo misses that ran the matcher and populated the cache."),
 		ChunkSeconds:       r.Histogram("dmfb_kernel_chunk_duration_seconds", "Wall time of one Monte-Carlo kernel chunk.", nil),
+		EarlyStops:         r.Counter("dmfb_kernel_early_stops_total", "Precision-targeted estimates that met epsilon before the trial budget."),
+		RealizedRuns:       r.Histogram("dmfb_kernel_realized_runs", "Realized trial count of one precision-targeted estimate.", realizedRunsBuckets),
 	}
 }
 

@@ -1,0 +1,231 @@
+package yieldsim
+
+// Precision-targeted adaptive sampling: the chunk-seeded Monte-Carlo kernel
+// with a sequential stopping rule layered on top. The scheduler is unchanged
+// — fixed-size chunks, each owning a PRNG stream derived from Seed, pulled
+// by a bounded worker pool — but instead of running a fixed trial count the
+// kernel commits completed chunks in chunk-INDEX order (not completion
+// order) and, at every committed boundary, asks whether the Wilson 95%
+// half-width of the running estimate has reached Epsilon.
+//
+// Committing in index order is what preserves the determinism contract from
+// the fixed-run kernel: the per-chunk success counts are functions of the
+// chunk seeds alone, so the first boundary at which the rule fires — and
+// with it the realized trial count and the estimate — is a pure function of
+// (Seed, Epsilon, MaxRuns, ChunkSize). Worker count and goroutine
+// scheduling only decide how many chunks beyond the stopping boundary were
+// speculatively computed and discarded, never what the estimate is. That
+// keeps adaptive results exactly as cacheable as fixed-run results.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"dmfb/internal/defects"
+	"dmfb/internal/stats"
+	"dmfb/internal/telemetry"
+)
+
+// budget resolves the adaptive trial budget: MaxRuns, falling back to Runs.
+func (mc *MonteCarlo) budget() int {
+	if mc.MaxRuns > 0 {
+		return mc.MaxRuns
+	}
+	return mc.Runs
+}
+
+// adaptiveState is the shared commit ledger of one adaptive estimate. All
+// fields are guarded by mu; workers record each finished chunk and then
+// advance the committed prefix while it is contiguous, testing the stopping
+// rule at every boundary they fold in.
+type adaptiveState struct {
+	mu   sync.Mutex
+	succ []int  // per-chunk success counts
+	done []bool // per-chunk completion flags
+	// committed is the length of the committed prefix; chunks [0, committed)
+	// are folded into cumS/cumT.
+	committed  int
+	cumS, cumT int
+	// stopped is set at the first committed boundary satisfying the rule;
+	// finalS/finalT freeze the estimate at that boundary (later-arriving
+	// chunks, whatever their index, are discarded).
+	stopped        bool
+	finalS, finalT int
+}
+
+// record stores chunk c's outcome and extends the committed prefix in index
+// order, evaluating rule at each boundary folded in. It returns true once
+// the estimate is frozen, which tells the calling worker to stop pulling
+// chunks. chunkRuns maps a chunk index to its trial count (the last chunk
+// is short when the budget is not a chunk multiple).
+func (st *adaptiveState) record(c, successes int, rule stats.SequentialCI, chunkRuns func(int) int, stop func()) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.succ[c], st.done[c] = successes, true
+	for !st.stopped && st.committed < len(st.done) && st.done[st.committed] {
+		b := st.committed
+		st.cumS += st.succ[b]
+		st.cumT += chunkRuns(b)
+		st.committed++
+		if rule.Satisfied(st.cumS, st.cumT) {
+			st.stopped = true
+			st.finalS, st.finalT = st.cumS, st.cumT
+			stop()
+		}
+	}
+	return st.stopped
+}
+
+// runAdaptive is the Epsilon > 0 body of run: identical chunk seeding and
+// worker discipline, with the sequential stopping rule over the committed
+// prefix deciding when to quit. See the package comment above for why the
+// result is bit-deterministic regardless of parallelism.
+func (mc *MonteCarlo) runAdaptive(ctx context.Context, factory trialFactory) (Result, error) {
+	budget := mc.budget()
+	if budget <= 0 {
+		return Result{}, fmt.Errorf("yieldsim: adaptive sampling needs a positive trial budget (MaxRuns or Runs), got %d", budget)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	rule := stats.SequentialCI{Epsilon: mc.Epsilon}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	chunk := mc.chunkSize()
+	numChunks := (budget + chunk - 1) / chunk
+	chunkRuns := func(c int) int {
+		if c == numChunks-1 {
+			return budget - c*chunk
+		}
+		return chunk
+	}
+	seeds := stats.SeedStream(mc.Seed, numChunks)
+	workers := mc.workerCount()
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	// The producer hands out chunk indexes in strictly increasing order, so
+	// when the rule fires at a boundary every chunk at or before it has been
+	// handed out and completed; cancelling here only abandons chunks past
+	// the frozen prefix.
+	chunkCh := make(chan int)
+	go func() {
+		defer close(chunkCh)
+		for c := 0; c < numChunks; c++ {
+			select {
+			case chunkCh <- c:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	spanLog := mc.Logger != nil && mc.Logger.Enabled(ctx, slog.LevelDebug)
+	instrumented := mc.Metrics != nil || spanLog
+	traceID := telemetry.TraceID(ctx)
+
+	st := &adaptiveState{succ: make([]int, numChunks), done: make([]bool, numChunks)}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var probe kernelProbe
+			program, err := factory(&probe)
+			if err != nil {
+				errCh <- err
+				cancel()
+				return
+			}
+			in := defects.NewInjector(0) // reseeded per chunk below
+			for c := range chunkCh {
+				if runCtx.Err() != nil {
+					break
+				}
+				runs := chunkRuns(c)
+				in.Reseed(seeds[c])
+				var chunkStart time.Time
+				if instrumented {
+					chunkStart = time.Now()
+				}
+				chunkSuccesses := 0
+				if program.batch != nil {
+					chunkSuccesses, err = program.batch(in, runs)
+					if err != nil {
+						errCh <- err
+						cancel()
+						return
+					}
+				} else {
+					for i := 0; i < runs; i++ {
+						ok, err := program.trial(in)
+						if err != nil {
+							errCh <- err
+							cancel()
+							return
+						}
+						if ok {
+							chunkSuccesses++
+						}
+					}
+				}
+				if instrumented {
+					elapsed := time.Since(chunkStart)
+					if m := mc.Metrics; m != nil {
+						m.Trials.Add(uint64(runs))
+						m.AllHealthy.Add(probe.allHealthy)
+						m.MatcherInvocations.Add(probe.matcher)
+						m.MemoHits.Add(probe.memoHits)
+						m.MemoMisses.Add(probe.memoMisses)
+						m.ChunkSeconds.Observe(elapsed.Seconds())
+					}
+					if spanLog {
+						mc.Logger.LogAttrs(runCtx, slog.LevelDebug, "kernel_chunk",
+							slog.String("trace_id", traceID),
+							slog.Int("chunk", c),
+							slog.Int("trials", runs),
+							slog.Int("successes", chunkSuccesses),
+							slog.Uint64("all_healthy", probe.allHealthy),
+							slog.Uint64("matcher", probe.matcher),
+							slog.Uint64("memo_hits", probe.memoHits),
+							slog.Uint64("memo_misses", probe.memoMisses),
+							slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+						)
+					}
+					probe.allHealthy, probe.matcher = 0, 0
+					probe.memoHits, probe.memoMisses = 0, 0
+				}
+				if st.record(c, chunkSuccesses, rule, chunkRuns, cancel) {
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	// A trial error takes precedence: it is what cancelled runCtx.
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	st.mu.Lock()
+	successes, realized, stopped := st.cumS, st.cumT, st.stopped
+	if stopped {
+		successes, realized = st.finalS, st.finalT
+	}
+	st.mu.Unlock()
+	if m := mc.Metrics; m != nil {
+		m.RealizedRuns.Observe(float64(realized))
+		if stopped {
+			m.EarlyStops.Add(1)
+		}
+	}
+	return newResult(successes, realized), nil
+}

@@ -1,0 +1,174 @@
+package yieldsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dmfb/internal/layout"
+)
+
+// TestStratifiedNoRedundancyMatchesClosedForm cross-validates the
+// stratification machinery against the exact p^n closed form at several
+// (n, p) points: the combined estimate's interval must cover it, and the
+// point estimate must sit within Monte-Carlo noise.
+func TestStratifiedNoRedundancyMatchesClosedForm(t *testing.T) {
+	for _, tc := range []struct {
+		nPrimary int
+		p        float64
+	}{
+		{60, 0.999},
+		{60, 0.99},
+		{150, 0.995},
+		{300, 0.999},
+	} {
+		arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), tc.nPrimary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := NewMonteCarlo(1)
+		mc.Runs = 20000
+		sr, err := mc.StratifiedNoRedundancyMC(arr, tc.p)
+		if err != nil {
+			t.Fatalf("n=%d p=%v: %v", tc.nPrimary, tc.p, err)
+		}
+		want := NoRedundancy(tc.p, arr.NumPrimary())
+		if want < sr.CILo-1e-9 || want > sr.CIHi+1e-9 {
+			t.Errorf("n=%d p=%v: closed form %v outside stratified CI [%v, %v]",
+				tc.nPrimary, tc.p, want, sr.CILo, sr.CIHi)
+		}
+		if math.Abs(sr.Yield-want) > 0.01 {
+			t.Errorf("n=%d p=%v: stratified %v vs closed form %v", tc.nPrimary, tc.p, sr.Yield, want)
+		}
+	}
+}
+
+// TestStratifiedMatchesClusterClosedForm cross-validates the reconfigurable
+// stratified estimator against the cluster-complete DTMB(1,6) closed form
+// Y = (p^7 + 7p^6(1−p))^(n/6), the one geometry where the paper's analytic
+// model is exact.
+func TestStratifiedMatchesClusterClosedForm(t *testing.T) {
+	arr, err := layout.BuildClusterCompleteDTMB16(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := arr.NumPrimary()
+	if n != 72 {
+		t.Fatalf("cluster-complete array has %d primaries, want 72", n)
+	}
+	for _, p := range []float64{0.999, 0.99, 0.98} {
+		mc := NewMonteCarlo(42)
+		mc.Runs = 20000
+		sr, err := mc.StratifiedYield(arr, p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		want := ClusterYieldDTMB16(p, n)
+		if want < sr.CILo-1e-9 || want > sr.CIHi+1e-9 {
+			t.Errorf("p=%v: closed form %v outside stratified CI [%v, %v]", p, want, sr.CILo, sr.CIHi)
+		}
+		if math.Abs(sr.Yield-want) > 0.01 {
+			t.Errorf("p=%v: stratified %v vs closed form %v", p, sr.Yield, want)
+		}
+	}
+}
+
+// TestStratifiedAgreesWithDirectBernoulli checks the two estimators of the
+// same quantity — direct Bernoulli sampling and fault-count stratification —
+// agree within their combined uncertainty on a reconfigurable array.
+func TestStratifiedAgreesWithDirectBernoulli(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 0.99
+	mc := NewMonteCarlo(7)
+	mc.Runs = 20000
+	direct, err := mc.Yield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := mc.StratifiedYield(arr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sr.Yield-direct.Yield) > 0.01 {
+		t.Errorf("stratified %v vs direct %v", sr.Yield, direct.Yield)
+	}
+	if sr.CIHi < direct.CILo || direct.CIHi < sr.CILo {
+		t.Errorf("disjoint intervals: stratified [%v,%v] vs direct [%v,%v]",
+			sr.CILo, sr.CIHi, direct.CILo, direct.CIHi)
+	}
+}
+
+// TestStratifiedK0Free pins the headline saving: the k = 0 stratum is
+// analytic — no trials — and at high p it carries most of the mass.
+func TestStratifiedK0Free(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(1)
+	mc.Runs = 1000
+	sr, err := mc.StratifiedYield(arr, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0 := sr.Strata[0]
+	if k0.K != 0 || k0.Result.Runs != 0 || k0.Result.Yield != 1 {
+		t.Errorf("k=0 stratum %+v, want analytic certainty with zero trials", k0)
+	}
+	// exp(-n·q) ≈ 0.87 of the mass at q = 0.001 on this ~135-cell array.
+	if k0.Weight < 0.5 {
+		t.Errorf("k=0 weight %v suspiciously small at p=0.999", k0.Weight)
+	}
+	if sr.TailWeight > DefaultStratumTail {
+		t.Errorf("tail weight %v exceeds the truncation bound", sr.TailWeight)
+	}
+}
+
+// TestStratifiedDeterministicAcrossWorkers checks the whole stratified
+// result — estimate, per-stratum breakdown, realized counts — is invariant
+// in the worker count.
+func TestStratifiedDeterministicAcrossWorkers(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewMonteCarlo(99)
+	base.Runs = 3000
+	base.Workers = 1
+	want, err := base.StratifiedYield(arr, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		mc := NewMonteCarlo(99)
+		mc.Runs = 3000
+		mc.Workers = workers
+		got, err := mc.StratifiedYield(arr, 0.98)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: %+v != single-worker %+v", workers, got, want)
+		}
+	}
+}
+
+// TestStratifiedRejectsBadP mirrors the direct estimators' validation.
+func TestStratifiedRejectsBadP(t *testing.T) {
+	arr, err := layout.BuildWithPrimaryTarget(layout.DTMB26(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := NewMonteCarlo(1)
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := mc.StratifiedYield(arr, p); err == nil {
+			t.Errorf("p=%v accepted by StratifiedYield", p)
+		}
+		if _, err := mc.StratifiedNoRedundancyMC(arr, p); err == nil {
+			t.Errorf("p=%v accepted by StratifiedNoRedundancyMC", p)
+		}
+	}
+}

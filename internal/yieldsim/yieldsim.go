@@ -113,6 +113,20 @@ type MonteCarlo struct {
 	// Scope and Used configure the repair criterion (default: RepairAll).
 	Scope reconfig.Scope
 	Used  []bool
+	// Epsilon, when positive, switches the kernel to precision-targeted
+	// adaptive sampling: trials run in the usual chunk-seeded order, but the
+	// estimate stops as soon as the Wilson 95% half-width over the
+	// deterministic prefix of completed chunks reaches Epsilon, or when the
+	// trial budget (MaxRuns, falling back to Runs) is exhausted. The stopping
+	// rule is evaluated in chunk-index order regardless of which worker
+	// finishes a chunk first, so the realized trial count — and therefore the
+	// estimate — is deterministic in (Seed, Epsilon, MaxRuns, ChunkSize),
+	// independent of Workers and GOMAXPROCS, exactly like fixed-run
+	// estimates. Zero (the default) keeps the fixed-run behavior bit for bit.
+	Epsilon float64
+	// MaxRuns caps the adaptive trial budget; 0 means Runs. Ignored when
+	// Epsilon is zero.
+	MaxRuns int
 	// FastSampling switches Bernoulli fault injection to geometric
 	// skip-sampling (defects.BernoulliGeom): the same fault distribution
 	// with O(expected faults) PRNG draws per trial instead of one per cell
@@ -222,6 +236,9 @@ type trialFactory func(probe *kernelProbe) (trialProgram, error)
 // chunks, so a cancelled run aborts within one chunk's worth of work per
 // worker and returns ctx.Err().
 func (mc *MonteCarlo) run(ctx context.Context, factory trialFactory) (Result, error) {
+	if mc.Epsilon > 0 {
+		return mc.runAdaptive(ctx, factory)
+	}
 	if mc.Runs <= 0 {
 		return Result{}, fmt.Errorf("yieldsim: Runs must be positive, got %d", mc.Runs)
 	}

@@ -145,7 +145,7 @@ format_kernel_opt() {
 
 if [ $# -ge 1 ]; then
   emit_suite "dmfb hex + clustered-defect kernels" \
-    "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}" "$1"
+    "${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector|AdaptiveHighSurvival}" "$1"
   exit 0
 fi
 
@@ -153,7 +153,7 @@ fi
 # files. The before/after file is formatted first: it reads
 # BENCH_hex_cluster.json as the "before" side, so it must see the previous
 # run's numbers, not this run's.
-hex_pattern="${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector}"
+hex_pattern="${BENCH_PATTERN:-HexYieldKernel|ClusteredDefectKernel|ClusteredInjector|AdaptiveHighSurvival}"
 opt_pattern='HexYieldKernel|ClusteredDefectKernel|MonteCarloKernel'
 kernel_raw="$(run_bench "$hex_pattern|$opt_pattern")"
 format_kernel_opt BENCH_hex_cluster.json BENCH_kernel_opt.json "$opt_pattern" "$kernel_raw"
