@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -57,6 +58,13 @@ type (
 	ReconfigureRequest  = service.ReconfigureRequest
 	ReconfigureResponse = service.ReconfigureResponse
 	StatsResponse       = service.StatsResponse
+	// WorkerRegisterRequest/Response, ShardLease, and ShardResultRequest are
+	// the worker↔coordinator dispatch contracts (POST /v2/workers/*), used by
+	// the dtmb-worker binary with this client as its transport.
+	WorkerRegisterRequest  = service.WorkerRegisterRequest
+	WorkerRegisterResponse = service.WorkerRegisterResponse
+	ShardLease             = service.ShardLease
+	ShardResultRequest     = service.ShardResultRequest
 )
 
 // APIError is a non-2xx response decoded from the server's error envelope.
@@ -281,11 +289,23 @@ func (c *Client) StreamJobResults(ctx context.Context, id string, cursor int, fn
 				id, cursor, c.retries, err)
 		}
 		select {
-		case <-time.After(c.backoff):
+		case <-time.After(Jitter(c.backoff)):
 		case <-ctx.Done():
 			return cursor, ctx.Err()
 		}
 	}
+}
+
+// Jitter spreads a retry delay uniformly over [d/2, 3d/2). Fixed-interval
+// retries from a fleet of clients that all lost the same server arrive back
+// in lockstep — a thundering herd against the restarted process; jitter
+// decorrelates them. Exposed for callers (the dtmb-worker lease loop) that
+// build their own retry schedules around this client.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + rand.N(d)
 }
 
 // streamOnce performs one GET /v2/jobs/{id}/results?cursor=N pass.
@@ -341,6 +361,73 @@ type callbackError struct{ err error }
 
 func (e *callbackError) Error() string { return e.err.Error() }
 func (e *callbackError) Unwrap() error { return e.err }
+
+// Ready probes GET /readyz; a nil error means the server is accepting work
+// (the durable store finished replaying and shutdown has not begun). Workers
+// poll this before registering so they never race a coordinator's replay.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// RegisterWorker announces a worker via POST /v2/workers/register and
+// returns its assigned ID plus the coordinator's lease TTL.
+func (c *Client) RegisterWorker(ctx context.Context, req WorkerRegisterRequest) (WorkerRegisterResponse, error) {
+	var out WorkerRegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v2/workers/register", &req, &out)
+	return out, err
+}
+
+// LeaseShard asks the coordinator for one shard of work via
+// POST /v2/workers/lease. A (nil, nil) return means no work is currently
+// available (HTTP 204); the worker should back off — with Jitter — and retry.
+func (c *Client) LeaseShard(ctx context.Context, workerID string) (*ShardLease, error) {
+	in := service.LeaseRequest{WorkerID: workerID}
+	buf, err := json.Marshal(&in)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/workers/lease", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.requestID != "" {
+		req.Header.Set("X-Request-ID", c.requestID)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	case resp.StatusCode/100 != 2:
+		return nil, decodeError(resp)
+	}
+	lease := new(ShardLease)
+	if err := json.NewDecoder(resp.Body).Decode(lease); err != nil {
+		return nil, err
+	}
+	return lease, nil
+}
+
+// HeartbeatLease renews a shard lease via POST /v2/workers/heartbeat. An
+// *APIError with StatusCode 410 means the lease is gone — expired and
+// redispatched, or its job cancelled — and the worker should abandon the
+// shard's evaluation.
+func (c *Client) HeartbeatLease(ctx context.Context, workerID, leaseID string) error {
+	in := service.HeartbeatRequest{WorkerID: workerID, LeaseID: leaseID}
+	return c.do(ctx, http.MethodPost, "/v2/workers/heartbeat", &in, nil)
+}
+
+// SubmitShard delivers a completed shard's records via
+// POST /v2/workers/results. Submission is idempotent server-side, so a
+// worker may safely retry after a transport fault.
+func (c *Client) SubmitShard(ctx context.Context, req ShardResultRequest) error {
+	return c.do(ctx, http.MethodPost, "/v2/workers/results", &req, nil)
+}
 
 // RunJob creates a sweep job and streams every record through fn, resuming
 // across disconnects; it returns the job's terminal status. The one-call

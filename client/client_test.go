@@ -20,7 +20,7 @@ import (
 // newTestServer runs the full production handler stack (middleware
 // included) over httptest, so client tests exercise exactly what
 // dtmb-serve serves.
-func newTestServer(t *testing.T, cfg service.EngineConfig) (*httptest.Server, *service.JobStore) {
+func newTestServer(t *testing.T, cfg service.EngineConfig) (*httptest.Server, *service.Store) {
 	t.Helper()
 	engine := service.NewEngine(cfg)
 	jobs := service.NewJobStore(engine, service.JobStoreConfig{})

@@ -32,7 +32,9 @@ import (
 	"syscall"
 	"time"
 
+	"dmfb/internal/dispatch"
 	"dmfb/internal/service"
+	"dmfb/internal/telemetry"
 )
 
 // parseLogLevel maps the -log-level flag to a slog level. At debug the
@@ -63,6 +65,10 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "simulations admitted at once (0 = 2; each simulation already parallelizes across cores)")
 		maxJobs       = flag.Int("max-jobs", 0, "sweep jobs retained in memory, running and finished combined (0 = 128)")
 		maxResultMB   = flag.Int("max-result-mb", 0, "MiB of encoded job results retained by finished jobs before oldest-first eviction (0 = 64)")
+		storeDir      = flag.String("store-dir", "", "durable job-store directory; jobs survive restarts and partial jobs resume (empty = in-memory)")
+		dispatchOn    = flag.Bool("dispatch", false, "enable distributed sweep dispatch: serve /v2/workers/* and accept jobs with \"distributed\": true")
+		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live without a heartbeat before redispatch (with -dispatch)")
+		shardSize     = flag.Int("shard-size", 0, "grid points per dispatched shard (0 = 64; with -dispatch)")
 		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout (requests and running jobs)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds per-chunk kernel spans)")
 		pprofAddr     = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it private, e.g. localhost:6060")
@@ -93,7 +99,10 @@ func main() {
 		}()
 	}
 
-	srv := service.NewServer(service.ServerConfig{
+	// The engine's registry must exist up front when dispatch is enabled, so
+	// the coordinator's series land on the same /metrics exposition.
+	registry := telemetry.NewRegistry()
+	cfg := service.ServerConfig{
 		Addr: *addr,
 		Engine: service.EngineConfig{
 			CacheSize:     *cacheSize,
@@ -101,10 +110,29 @@ func main() {
 			Workers:       *workers,
 			ChunkSize:     *chunkSize,
 			MaxConcurrent: *maxConcurrent,
+			Registry:      registry,
 		},
-		Jobs:   service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
-		Logger: logger,
-	})
+		Jobs:     service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
+		StoreDir: *storeDir,
+		Logger:   logger,
+	}
+	var coord *dispatch.Coordinator
+	if *dispatchOn {
+		coord = dispatch.NewCoordinator(dispatch.Config{
+			LeaseTTL:  *leaseTTL,
+			ShardSize: *shardSize,
+			Registry:  registry,
+			Logger:    logger,
+		})
+		defer coord.Close()
+		cfg.Jobs.Runner = coord
+		cfg.ExtraRoutes = coord.Routes()
+	}
+	srv, err := service.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-serve:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -80,11 +80,14 @@ func TestRemoteSweepMatchesLocalBytes(t *testing.T) {
 		return engine.RunSweep(context.Background(), plan, emit)
 	})
 
-	srv := service.NewServer(service.ServerConfig{
+	srv, err := service.NewServer(service.ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: service.EngineConfig{DefaultRuns: req.Runs},
 		Logger: slog.New(slog.DiscardHandler),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)
 	}

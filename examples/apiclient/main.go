@@ -20,11 +20,14 @@ import (
 func main() {
 	// An in-process server on a loopback port; a real deployment runs
 	// cmd/dtmb-serve and points the client at its address instead.
-	srv := service.NewServer(service.ServerConfig{
+	srv, err := service.NewServer(service.ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: service.EngineConfig{DefaultRuns: 2000},
 		Logger: slog.New(slog.DiscardHandler),
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := srv.Listen(); err != nil {
 		log.Fatal(err)
 	}

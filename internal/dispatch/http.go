@@ -1,0 +1,127 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dmfb/internal/service"
+)
+
+// Request-body bounds: control messages are tiny; a result submission
+// carries up to a whole shard of records.
+const (
+	maxControlBody = 1 << 20
+	maxResultBody  = 64 << 20
+)
+
+// Routes returns the coordinator's worker-facing endpoints as extra routes
+// for the serving mux:
+//
+//	POST /v2/workers/register   announce a worker, get an ID and lease TTL
+//	POST /v2/workers/lease      pull one shard lease (204 when no work)
+//	POST /v2/workers/heartbeat  renew a lease (410 when it is gone)
+//	POST /v2/workers/results    submit a completed shard's records
+func (c *Coordinator) Routes() []service.Route {
+	return []service.Route{
+		{Pattern: "POST /v2/workers/register", Handler: http.HandlerFunc(c.handleRegister)},
+		{Pattern: "POST /v2/workers/lease", Handler: http.HandlerFunc(c.handleLease)},
+		{Pattern: "POST /v2/workers/heartbeat", Handler: http.HandlerFunc(c.handleHeartbeat)},
+		{Pattern: "POST /v2/workers/results", Handler: http.HandlerFunc(c.handleResults)},
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req service.WorkerRegisterRequest
+	if !decodeBody(w, r, maxControlBody, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.register(req.Name))
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req service.LeaseRequest
+	if !decodeBody(w, r, maxControlBody, &req) {
+		return
+	}
+	if req.WorkerID == "" {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: "worker_id is required"})
+		return
+	}
+	lease := c.nextLease(req.WorkerID)
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req service.HeartbeatRequest
+	if !decodeBody(w, r, maxControlBody, &req) {
+		return
+	}
+	if err := c.heartbeat(req.WorkerID, req.LeaseID); err != nil {
+		writeJSON(w, dispatchStatus(err), errBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req service.ShardResultRequest
+	if !decodeBody(w, r, maxResultBody, &req) {
+		return
+	}
+	if err := c.submit(req); err != nil {
+		writeJSON(w, dispatchStatus(err), errBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// dispatchStatus maps coordinator errors onto HTTP: vanished leases/jobs →
+// 410 Gone (the worker abandons the shard), anything else → 400 (the
+// submission itself was malformed).
+func dispatchStatus(err error) int {
+	if errors.Is(err, errGone) {
+		return http.StatusGone
+	}
+	return http.StatusBadRequest
+}
+
+// errBody is the same error envelope the service handlers use.
+type errBody struct {
+	Error string `json:"error"`
+}
+
+// decodeBody strictly decodes the request body into v, writing the error
+// response itself on failure. Mirrors the service package's strict decoding
+// (unknown fields and trailing data rejected).
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		status := http.StatusBadRequest
+		if maxErr := new(http.MaxBytesError); errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errBody{Error: fmt.Sprintf("invalid request body: %v", err)})
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, errBody{Error: "invalid request body: trailing data"})
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

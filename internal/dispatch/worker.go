@@ -1,0 +1,212 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"dmfb/client"
+	"dmfb/internal/service"
+)
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name is an optional human-readable label for the coordinator's logs.
+	Name string
+	// Engine tunes the worker's local simulation engine. Determinism-relevant
+	// parameters (runs, seed, epsilon, chunk size) are always overridden by
+	// the lease, so only capacity knobs (workers, cache size, concurrency)
+	// matter here.
+	Engine service.EngineConfig
+	// Poll is the base backoff between lease attempts when no work is
+	// available (jittered to decorrelate a worker fleet); 0 means 500ms.
+	Poll time.Duration
+	// Logger receives worker lifecycle events; nil discards them.
+	Logger *slog.Logger
+}
+
+// RunWorker runs the worker loop until ctx is cancelled: wait for the
+// coordinator to report ready, register, then pull shard leases, evaluate
+// them through the local engine (cache, single-flight, admission, and
+// telemetry all apply), and submit results. Lease evaluation heartbeats at
+// TTL/3; a 410 on heartbeat aborts the shard (someone else owns it now).
+// Every retry sleep is jittered so a restarted coordinator is not hit by
+// the whole fleet in lockstep.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	cli := client.New(cfg.Coordinator)
+	engine := service.NewEngine(cfg.Engine)
+
+	// Readiness gate: a coordinator replaying its durable store answers 503
+	// on /readyz; registering against it would just fail.
+	for {
+		if err := cli.Ready(ctx); err == nil {
+			break
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		} else {
+			logger.Debug("coordinator not ready", slog.String("error", err.Error()))
+		}
+		if err := sleepCtx(ctx, client.Jitter(poll)); err != nil {
+			return err
+		}
+	}
+	reg, err := cli.RegisterWorker(ctx, client.WorkerRegisterRequest{Name: cfg.Name})
+	if err != nil {
+		return fmt.Errorf("dispatch: register worker: %w", err)
+	}
+	logger.Info("worker registered",
+		slog.String("worker", reg.WorkerID), slog.String("coordinator", cfg.Coordinator))
+
+	// Plans are cached per job: every lease of one job carries the identical
+	// request, and re-planning a 20k-point grid per shard would be waste.
+	plans := make(map[string]*service.SweepPlan)
+	for {
+		lease, err := cli.LeaseShard(ctx, reg.WorkerID)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			// Coordinator briefly unreachable (restart, network): back off
+			// and retry — the lease endpoint re-registers unknown worker IDs,
+			// so no re-registration dance is needed.
+			logger.Debug("lease attempt failed", slog.String("error", err.Error()))
+			if err := sleepCtx(ctx, client.Jitter(poll)); err != nil {
+				return err
+			}
+			continue
+		}
+		if lease == nil {
+			if err := sleepCtx(ctx, client.Jitter(poll)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := evalLease(ctx, cli, engine, plans, reg.WorkerID, lease, poll, logger); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			logger.Warn("shard evaluation failed",
+				slog.String("lease", lease.LeaseID), slog.String("job", lease.JobID),
+				slog.Int("shard", lease.Shard), slog.String("error", err.Error()))
+			// The lease will expire and the shard be redispatched; nothing
+			// for this worker to do but move on.
+		}
+	}
+}
+
+// evalLease evaluates one leased shard and submits its records. The shard's
+// evaluation context is cancelled when a heartbeat answers 410 — the lease
+// expired and the shard belongs to someone else, so burning more CPU on it
+// helps nobody (its submission would still be accepted, but a live twin is
+// already on it).
+func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, plans map[string]*service.SweepPlan, workerID string, lease *client.ShardLease, poll time.Duration, logger *slog.Logger) error {
+	plan, ok := plans[lease.JobID]
+	if !ok {
+		p, err := engine.PlanSweep(lease.Request)
+		if err != nil {
+			return fmt.Errorf("plan leased sweep: %w", err)
+		}
+		// The lease's chunk size is the coordinator's — part of the
+		// determinism contract, never this worker's own default.
+		p.SetChunkSize(lease.ChunkSize)
+		plans[lease.JobID] = p
+		plan = p
+	}
+	if lease.Start < 0 || lease.End > plan.NumPoints() || lease.Start > lease.End {
+		return fmt.Errorf("lease range [%d,%d) outside grid of %d points", lease.Start, lease.End, plan.NumPoints())
+	}
+
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	hbInterval := ttl / 3
+	if hbInterval < 10*time.Millisecond {
+		hbInterval = 10 * time.Millisecond
+	}
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hbInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				err := cli.HeartbeatLease(shardCtx, workerID, lease.LeaseID)
+				var apiErr *client.APIError
+				if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusGone {
+					logger.Info("lease gone, abandoning shard",
+						slog.String("lease", lease.LeaseID), slog.Int("shard", lease.Shard))
+					cancelShard()
+					return
+				}
+				// Transient heartbeat failures are survivable as long as one
+				// succeeds inside the TTL; keep ticking.
+			}
+		}
+	}()
+
+	records := make([]service.SweepRecord, 0, lease.End-lease.Start)
+	evalErr := engine.RunSweepRange(shardCtx, plan, lease.Start, lease.End, func(rec service.SweepRecord) error {
+		// Cache provenance is worker-local state; the coordinator normalizes
+		// it too, but stripping it here keeps the wire payload canonical.
+		rec.Cached = false
+		records = append(records, rec)
+		return nil
+	})
+	cancelShard()
+	<-hbDone
+	if evalErr != nil {
+		return evalErr
+	}
+
+	// Submission survives transient transport faults (it is idempotent
+	// server-side); a definitive server answer — 410 job gone, 400 malformed —
+	// ends the attempt.
+	sub := client.ShardResultRequest{
+		WorkerID: workerID,
+		LeaseID:  lease.LeaseID,
+		JobID:    lease.JobID,
+		Shard:    lease.Shard,
+		Records:  records,
+	}
+	for attempt := 0; ; attempt++ {
+		err := cli.SubmitShard(ctx, sub)
+		if err == nil {
+			return nil
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) || attempt >= 3 {
+			return fmt.Errorf("submit shard %d of %s: %w", lease.Shard, lease.JobID, err)
+		}
+		if err := sleepCtx(ctx, client.Jitter(poll)); err != nil {
+			return err
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,321 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// jobManifest is the durable snapshot of one job's identity and lifecycle,
+// written as <dir>/<id>/manifest.json. The request is stored verbatim so a
+// restarted coordinator can re-plan the sweep (grid expansion is
+// deterministic) and resume evaluation at the first index missing from the
+// result log.
+type jobManifest struct {
+	ID          string       `json:"id"`
+	State       JobState     `json:"state"`
+	Error       string       `json:"error,omitempty"`
+	TotalPoints int          `json:"total_points"`
+	CreatedAt   time.Time    `json:"created_at"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	Request     SweepRequest `json:"request"`
+}
+
+// persistedJob is one job recovered from disk: its manifest plus every
+// complete NDJSON line of its result log (a trailing partial line from a
+// crash mid-write is truncated away, and re-evaluated on resume).
+type persistedJob struct {
+	manifest jobManifest
+	lines    [][]byte
+}
+
+// jobPersister is the pluggable durability backend of a job store: the
+// in-memory store uses the no-op nullPersister, the durable store a
+// filePersister. Implementations are called with the owning job's mutex
+// released but from at most one goroutine per job (the job runner), plus
+// the store's eviction path for remove.
+type jobPersister interface {
+	// saveManifest durably records a job's manifest (at creation and at
+	// every terminal transition), replacing any previous one atomically.
+	saveManifest(m jobManifest) error
+	// appendResult durably appends one encoded NDJSON line to the job's
+	// result log before the line becomes visible to streams, so a crash
+	// never loses a record a client may already have read.
+	appendResult(id string, line []byte) error
+	// finishResults releases the job's open result-log handle (the job
+	// reached a terminal state and will append no more lines).
+	finishResults(id string)
+	// remove deletes every on-disk artifact of an evicted job.
+	remove(id string) error
+	// diskBytes reports the bytes currently held on disk across all jobs.
+	diskBytes() int64
+	// load recovers every persisted job, in creation (sequence) order.
+	load() ([]persistedJob, error)
+	// close releases all open handles.
+	close()
+}
+
+// nullPersister backs the pure in-memory store: persistence is a no-op and
+// replay finds nothing.
+type nullPersister struct{}
+
+func (nullPersister) saveManifest(jobManifest) error    { return nil }
+func (nullPersister) appendResult(string, []byte) error { return nil }
+func (nullPersister) finishResults(string)              {}
+func (nullPersister) remove(string) error               { return nil }
+func (nullPersister) diskBytes() int64                  { return 0 }
+func (nullPersister) load() ([]persistedJob, error)     { return nil, nil }
+func (nullPersister) close()                            {}
+
+// filePersister is the durable backend: one directory per job holding
+// manifest.json (atomically replaced via rename) and results.ndjson
+// (append-only, fsync per record). Byte accounting is maintained
+// incrementally so the dmfb_job_store_disk_bytes gauge is O(1) to scrape.
+type filePersister struct {
+	dir string
+
+	mu           sync.Mutex
+	files        map[string]*os.File // open result logs of running jobs
+	sizes        map[string]int64    // manifest + result bytes per job
+	manifestSize map[string]int64    // manifest share of sizes, for rewrites
+	crashed      bool                // test hook: simulate SIGKILL (drop all writes)
+}
+
+// newFilePersister prepares the backend rooted at dir, creating it if
+// needed.
+func newFilePersister(dir string) (*filePersister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: job store dir: %w", err)
+	}
+	return &filePersister{
+		dir:          dir,
+		files:        make(map[string]*os.File),
+		sizes:        make(map[string]int64),
+		manifestSize: make(map[string]int64),
+	}, nil
+}
+
+func (p *filePersister) jobDir(id string) string { return filepath.Join(p.dir, id) }
+
+// saveManifest writes the manifest via tmp-file + fsync + rename, so a
+// crash leaves either the old or the new manifest, never a torn one.
+func (p *filePersister) saveManifest(m jobManifest) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return nil
+	}
+	dir := p.jobDir(m.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(dir, "manifest.json.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, "manifest.json")
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(dir)
+	// Manifest rewrites replace the old bytes; adjust the delta only.
+	p.sizes[m.ID] += int64(len(buf)) - p.manifestSize[m.ID]
+	p.manifestSize[m.ID] = int64(len(buf))
+	return nil
+}
+
+// appendResult appends one line to the job's result log and fsyncs before
+// returning — the commit point that makes a record durable.
+func (p *filePersister) appendResult(id string, line []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return nil
+	}
+	f, ok := p.files[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(filepath.Join(p.jobDir(id), "results.ndjson"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		p.files[id] = f
+	}
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	p.sizes[id] += int64(len(line))
+	return nil
+}
+
+// finishResults closes the job's result log; the job is terminal.
+func (p *filePersister) finishResults(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.files[id]; ok {
+		f.Close()
+		delete(p.files, id)
+	}
+}
+
+// remove deletes the job's directory (manifest and result log).
+func (p *filePersister) remove(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed {
+		return nil
+	}
+	if f, ok := p.files[id]; ok {
+		f.Close()
+		delete(p.files, id)
+	}
+	delete(p.sizes, id)
+	delete(p.manifestSize, id)
+	return os.RemoveAll(p.jobDir(id))
+}
+
+// diskBytes reports the bytes held on disk across all retained jobs.
+func (p *filePersister) diskBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, n := range p.sizes {
+		total += n
+	}
+	return total
+}
+
+// load scans the store directory and recovers every job, truncating any
+// partial trailing result line left by a crash mid-append. Jobs whose
+// manifest is unreadable are skipped (their directories are left in place
+// for operator inspection); load fails only on I/O errors reading the root.
+func (p *filePersister) load() ([]persistedJob, error) {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: job store scan: %w", err)
+	}
+	var jobs []persistedJob
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		raw, err := os.ReadFile(filepath.Join(p.jobDir(id), "manifest.json"))
+		if err != nil {
+			continue // no manifest (crash before first save, or foreign dir)
+		}
+		var m jobManifest
+		if err := json.Unmarshal(raw, &m); err != nil || m.ID != id {
+			continue // torn or foreign manifest; leave for inspection
+		}
+		lines, valid, err := readResultLog(filepath.Join(p.jobDir(id), "results.ndjson"))
+		if err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.manifestSize[id] = int64(len(raw))
+		p.sizes[id] = int64(len(raw)) + valid
+		p.mu.Unlock()
+		jobs = append(jobs, persistedJob{manifest: m, lines: lines})
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		return jobSeq(jobs[i].manifest.ID) < jobSeq(jobs[j].manifest.ID)
+	})
+	return jobs, nil
+}
+
+// close releases every open result-log handle.
+func (p *filePersister) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.files {
+		f.Close()
+		delete(p.files, id)
+	}
+}
+
+// crashForTest simulates a SIGKILL: every subsequent write is silently
+// dropped and open handles are released, so a second store can be opened on
+// the same directory and observe exactly the state an abrupt process death
+// would have left.
+func (p *filePersister) crashForTest() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashed = true
+	for id, f := range p.files {
+		f.Close()
+		delete(p.files, id)
+	}
+}
+
+// readResultLog reads the complete NDJSON lines of a result log, truncating
+// the file past the last newline so an interrupted append never corrupts a
+// later resume (the half-written record is re-evaluated instead). A missing
+// file is an empty log.
+func readResultLog(path string) (lines [][]byte, validBytes int64, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: job result log: %w", err)
+	}
+	valid := bytes.LastIndexByte(raw, '\n') + 1 // 0 when no complete line
+	if valid < len(raw) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, 0, fmt.Errorf("service: truncate partial record: %w", err)
+		}
+	}
+	for _, l := range bytes.SplitAfter(raw[:valid], []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines, int64(valid), nil
+}
+
+// jobSeq extracts the numeric sequence of a "job-N" ID (0 when malformed),
+// used to restore creation order and to seed the ID counter past every
+// replayed job.
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n
+}
+
+// syncDir best-effort fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,423 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// durableSweepReq is the struct form of jobSweepBody: a 16-point grid
+// spanning every strategy and both defect models, cheap enough to finish in
+// well under a second.
+func durableSweepReq() SweepRequest {
+	return SweepRequest{
+		Strategies:   []string{"none", "local", "shifted", "hex"},
+		Designs:      []string{"DTMB(2,6)"},
+		NPrimaries:   []int{40},
+		Ps:           []float64{0.9, 0.95},
+		SpareRows:    []int{1},
+		DefectModels: []string{"independent", "clustered"},
+		ClusterSize:  4,
+		Runs:         150,
+		Seed:         11,
+	}
+}
+
+// durableSlowReq is a grid heavy enough (24 points × 15000 runs) that a
+// test reliably observes it mid-flight, yet completes in a few seconds once
+// resumed.
+func durableSlowReq() SweepRequest {
+	return SweepRequest{
+		Strategies:   []string{"local", "hex"},
+		Designs:      []string{"DTMB(2,6)"},
+		NPrimaries:   []int{100},
+		PMin:         0.90,
+		PMax:         0.99,
+		PPoints:      12,
+		DefectModels: []string{"independent"},
+		Runs:         15000,
+		Seed:         3,
+	}
+}
+
+// durableEngine builds a fresh engine with the defaults the durable tests
+// share, so golden and restarted runs resolve identical simulation
+// parameters.
+func durableEngine() *Engine {
+	return NewEngine(EngineConfig{DefaultRuns: 150, CacheSize: 256})
+}
+
+// waitStoreReady blocks until the store finishes its replay scan.
+func waitStoreReady(t *testing.T, s *Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("store never became ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// streamBytes drains a job's full result stream from the given cursor.
+func streamBytes(t *testing.T, j *Job, cursor int) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	if _, err := j.StreamResults(ctx, cursor, func(line []byte) error {
+		_, err := buf.Write(line)
+		return err
+	}); err != nil {
+		t.Fatalf("stream from cursor %d: %v", cursor, err)
+	}
+	return buf.Bytes()
+}
+
+// runGolden evaluates req on a fresh in-memory store and returns the
+// finished job's exact stream bytes — the single-process reference every
+// durable or distributed run must reproduce.
+func runGolden(t *testing.T, req SweepRequest) []byte {
+	t.Helper()
+	s := NewJobStore(durableEngine(), JobStoreConfig{})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("golden store close: %v", err)
+		}
+	}()
+	req.Distributed = false
+	j, err := s.Create(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := j.Wait(ctx)
+	if err != nil || st.State != JobCompleted {
+		t.Fatalf("golden job: %+v, %v", st, err)
+	}
+	return streamBytes(t, j, 0)
+}
+
+// waitPointsDone polls until the job has emitted at least n records.
+func waitPointsDone(t *testing.T, j *Job, n int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for j.Status().PointsDone < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %d points, want >= %d", j.Status().PointsDone, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertCursorSuffixes checks the byte-identity contract at several cursors:
+// the stream from cursor k must be the exact suffix of the golden stream
+// after its first k lines.
+func assertCursorSuffixes(t *testing.T, j *Job, golden []byte) {
+	t.Helper()
+	lines := bytes.SplitAfter(golden, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for _, cursor := range []int{0, 1, len(lines) / 2, len(lines) - 1, len(lines)} {
+		if cursor < 0 {
+			continue
+		}
+		want := bytes.Join(lines[cursor:], nil)
+		if got := streamBytes(t, j, cursor); !bytes.Equal(got, want) {
+			t.Fatalf("cursor %d: stream diverges from golden\n got %d bytes\nwant %d bytes", cursor, len(got), len(want))
+		}
+	}
+}
+
+func TestFileStoreRestartServesFinishedJob(t *testing.T) {
+	dir := t.TempDir()
+	e1 := durableEngine()
+	s1, err := NewFileJobStore(e1, JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStoreReady(t, s1)
+	j, err := s1.Create(context.Background(), durableSweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if st, err := j.Wait(ctx); err != nil || st.State != JobCompleted {
+		t.Fatalf("job: %+v, %v", st, err)
+	}
+	want := streamBytes(t, j, 0)
+	if s1.DiskBytes() <= int64(len(want)) {
+		t.Errorf("DiskBytes = %d, want > %d (results + manifest)", s1.DiskBytes(), len(want))
+	}
+	// The disk gauge is registered on the engine's registry.
+	mw := httptest.NewRecorder()
+	e1.Registry().Handler().ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mw.Body.String(), "dmfb_job_store_disk_bytes") {
+		t.Error("metrics exposition lacks dmfb_job_store_disk_bytes")
+	}
+	if err := s1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new store on the same directory serves the job without recomputing.
+	s2, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	waitStoreReady(t, s2)
+	j2, err := s2.Get(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j2.Status()
+	if st.State != JobCompleted || st.PointsDone != 16 || st.TotalPoints != 16 {
+		t.Fatalf("replayed status %+v", st)
+	}
+	if got := streamBytes(t, j2, 0); !bytes.Equal(got, want) {
+		t.Fatalf("replayed stream differs: %d bytes vs %d", len(got), len(want))
+	}
+	// The ID sequence is seeded past replayed jobs.
+	j3, err := s2.Create(context.Background(), durableSweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID() == j.ID() {
+		t.Fatalf("new job reused replayed ID %s", j.ID())
+	}
+}
+
+func TestFileStoreGracefulShutdownResumesRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	req := durableSlowReq()
+	golden := runGolden(t, req)
+
+	s1, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStoreReady(t, s1)
+	j, err := s1.Create(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPointsDone(t, j, 2)
+	// Graceful shutdown interrupts the job but must NOT persist a terminal
+	// cancellation the client never asked for.
+	if err := s1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	waitStoreReady(t, s2)
+	j2, err := s2.Get(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := j2.Wait(ctx)
+	if err != nil || st.State != JobCompleted {
+		t.Fatalf("resumed job: %+v, %v", st, err)
+	}
+	if got := streamBytes(t, j2, 0); !bytes.Equal(got, golden) {
+		t.Fatalf("resumed stream differs from golden: %d bytes vs %d", len(got), len(golden))
+	}
+	assertCursorSuffixes(t, j2, golden)
+}
+
+func TestFileStoreCrashResumesAndTruncatesPartialLine(t *testing.T) {
+	dir := t.TempDir()
+	req := durableSlowReq()
+	golden := runGolden(t, req)
+
+	s1, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStoreReady(t, s1)
+	j, err := s1.Create(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitPointsDone(t, j, 2)
+	// SIGKILL: no terminal state reaches disk, handles drop mid-flight.
+	s1.crashForTest()
+	// Simulate death mid-append on top of it: a torn half-record at the log
+	// tail must be truncated away and re-evaluated on resume.
+	log := filepath.Join(dir, j.ID(), "results.ndjson")
+	f, err := os.OpenFile(log, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":999,"yield":0.5`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	waitStoreReady(t, s2)
+	j2, err := s2.Get(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := j2.Wait(ctx)
+	if err != nil || st.State != JobCompleted {
+		t.Fatalf("crash-resumed job: %+v, %v", st, err)
+	}
+	if got := streamBytes(t, j2, 0); !bytes.Equal(got, golden) {
+		t.Fatalf("crash-resumed stream differs from golden: %d bytes vs %d", len(got), len(golden))
+	}
+	assertCursorSuffixes(t, j2, golden)
+}
+
+func TestFileStoreEvictionRemovesDiskArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileJobStore(durableEngine(), JobStoreConfig{MaxJobs: 2}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	waitStoreReady(t, s)
+
+	ids := make([]string, 0, 3)
+	req := durableSweepReq()
+	for i := 0; i < 3; i++ {
+		req.Seed = int64(100 + i) // distinct jobs, no cache interference
+		j, err := s.Create(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if st, err := j.Wait(ctx); err != nil || st.State != JobCompleted {
+			cancel()
+			t.Fatalf("job %d: %+v, %v", i, st, err)
+		}
+		cancel()
+		ids = append(ids, j.ID())
+	}
+	// Creating the third job evicted the oldest finished one — including its
+	// on-disk artifacts, so retention bounds hold across restarts.
+	if _, err := s.Get(ids[0]); !errors.Is(err, ErrJobNotFound) {
+		t.Fatalf("evicted job lookup: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ids[0])); !os.IsNotExist(err) {
+		t.Fatalf("evicted job directory still on disk: %v", err)
+	}
+	if s.Evictions() == 0 {
+		t.Error("eviction counter not incremented")
+	}
+
+	// A restart replays only the retained jobs and keeps honoring the bound.
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileJobStore(durableEngine(), JobStoreConfig{MaxJobs: 2}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	waitStoreReady(t, s2)
+	if _, err := s2.Get(ids[1]); err != nil {
+		t.Errorf("retained job %s missing after restart: %v", ids[1], err)
+	}
+	if _, err := s2.Get(ids[2]); err != nil {
+		t.Errorf("retained job %s missing after restart: %v", ids[2], err)
+	}
+	if got := s2.DiskBytes(); got <= 0 {
+		t.Errorf("DiskBytes after restart = %d, want > 0", got)
+	}
+}
+
+func TestFileStoreReadinessGate(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the directory with one finished job.
+	s1, err := NewFileJobStore(durableEngine(), JobStoreConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStoreReady(t, s1)
+	j, err := s1.Create(context.Background(), durableSweepReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if st, err := j.Wait(ctx); err != nil || st.State != JobCompleted {
+		t.Fatalf("seed job: %+v, %v", st, err)
+	}
+	if err := s1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	e := durableEngine()
+	s2, err := newFileJobStore(e, JobStoreConfig{}, dir, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	mux := NewMux(e, s2)
+
+	// While the replay is gated: not ready, 503 from the readiness probe and
+	// from job creation/lookup — but liveness stays 200.
+	if s2.Ready() {
+		t.Fatal("store ready before replay")
+	}
+	if w := doJSON(t, mux, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during replay = %d", w.Code)
+	}
+	if w := doJSON(t, mux, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("/healthz during replay = %d", w.Code)
+	}
+	if _, err := s2.Create(context.Background(), durableSweepReq()); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Create during replay: %v", err)
+	}
+	if _, err := s2.Get(j.ID()); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Get during replay: %v", err)
+	}
+
+	close(gate)
+	waitStoreReady(t, s2)
+	if w := doJSON(t, mux, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("/readyz after replay = %d", w.Code)
+	}
+	if _, err := s2.Get(j.ID()); err != nil {
+		t.Fatalf("Get after replay: %v", err)
+	}
+}
+
+func TestSweepRejectsDistributedWithoutRunner(t *testing.T) {
+	mux, _ := testJobMux(t, EngineConfig{DefaultRuns: 150}, JobStoreConfig{})
+	body := `{"strategies":["local"],"designs":["DTMB(2,6)"],"n_primaries":[40],"ps":[0.95],"runs":150,"seed":1,"distributed":true}`
+	// Synchronous /v1/sweep never accepts distributed mode.
+	if w := doJSON(t, mux, http.MethodPost, "/v1/sweep", body); w.Code != http.StatusBadRequest {
+		t.Errorf("/v1/sweep distributed = %d, want 400", w.Code)
+	}
+	// /v2/jobs rejects it when no dispatch runner is configured.
+	if w := doJSON(t, mux, http.MethodPost, "/v2/jobs", body); w.Code != http.StatusBadRequest {
+		t.Errorf("/v2/jobs distributed without runner = %d, want 400", w.Code)
+	}
+}

@@ -1,0 +1,6 @@
+package service
+
+// CrashForTest exposes the SIGKILL simulation to external test packages
+// (e.g. the coordinator-restart end-to-end test, which must live outside
+// package service to import the dispatch package without a cycle).
+func (s *Store) CrashForTest() { s.crashForTest() }

@@ -26,15 +26,21 @@ const maxBodyBytes = 1 << 20
 //	DELETE /v2/jobs/{id}         cancel a job
 //	GET    /metrics              Prometheus text-format exposition
 //	GET    /healthz              liveness probe
+//	GET    /readyz               readiness probe (503 while the durable
+//	                             store replays or the server drains)
 //
-// jobs may be nil, in which case a private store (bound to the process
-// lifetime, never drained) backs the job endpoints — fine for tests; servers
-// pass their own store so shutdown can drain it.
-func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
+// jobs may be nil, in which case a private in-memory store (bound to the
+// process lifetime, never drained) backs the job endpoints — fine for tests;
+// servers pass their own store so shutdown can drain it. Extra routes (the
+// dispatch coordinator's /v2/workers/* endpoints) are registered verbatim.
+func NewMux(e *Engine, jobs JobStore, extra ...Route) *http.ServeMux {
 	if jobs == nil {
 		jobs = NewJobStore(e, JobStoreConfig{})
 	}
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("POST /v1/sweep", sweepHandler(e))
 	mux.HandleFunc("POST /v1/yield", jsonHandler(func(r *http.Request, req YieldRequest) (YieldResponse, error) {
 		return e.Yield(r.Context(), req)
@@ -57,6 +63,12 @@ func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
 		st.JobEvictions = jobs.Evictions()
 		st.StreamFlushes = e.metrics.streamFlushes.With("sweep").Value() +
 			e.metrics.streamFlushes.With("job").Value()
+		st.JobStoreDiskBytes = jobs.DiskBytes()
+		ds := jobs.DispatchStats()
+		st.DispatchShardsLeased = ds.ShardsLeased
+		st.DispatchShardsCompleted = ds.ShardsCompleted
+		st.DispatchShardsExpired = ds.ShardsExpired
+		st.WorkersActive = ds.WorkersActive
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.Handle("GET /metrics", e.Registry().Handler())
@@ -82,15 +94,34 @@ func NewMux(e *Engine, jobs *JobStore) *http.ServeMux {
 	mux.HandleFunc("DELETE /v2/jobs/{id}", jobHandler(jobs, func(_ *http.Request, j *Job) (JobStatus, error) {
 		return j.Cancel(), nil
 	}))
-	mux.HandleFunc("GET /v2/jobs/{id}/results", jobResultsHandler(jobs))
+	mux.HandleFunc("GET /v2/jobs/{id}/results", jobResultsHandler(e, jobs))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	// Liveness (/healthz) answers "is the process up"; readiness answers "can
+	// it take traffic" — false while the durable store replays its on-disk
+	// jobs and again once shutdown begins, so load balancers and the worker
+	// registration loop steer around a coordinator that isn't serving.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !jobs.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
 }
 
+// Route is an extra (pattern, handler) pair mounted by NewMux — how the
+// dispatch coordinator's worker endpoints join the server's mux without the
+// service package importing dispatch.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // jobHandler looks up the {id} path value and maps fn's result to JSON.
-func jobHandler(jobs *JobStore, fn func(*http.Request, *Job) (JobStatus, error)) http.HandlerFunc {
+func jobHandler(jobs JobStore, fn func(*http.Request, *Job) (JobStatus, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, err := jobs.Get(r.PathValue("id"))
 		if err != nil {
@@ -111,7 +142,7 @@ func jobHandler(jobs *JobStore, fn func(*http.Request, *Job) (JobStatus, error))
 // for any record range are identical across calls, so a client that lost
 // its connection mid-stream resumes at its next unread record and ends up
 // with the exact bytes of an uninterrupted stream.
-func jobResultsHandler(jobs *JobStore) http.HandlerFunc {
+func jobResultsHandler(e *Engine, jobs JobStore) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, err := jobs.Get(r.PathValue("id"))
 		if err != nil {
@@ -128,7 +159,7 @@ func jobResultsHandler(jobs *JobStore) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
-		flushes := jobs.engine.metrics.streamFlushes.With("job")
+		flushes := e.metrics.streamFlushes.With("job")
 		_, _ = j.StreamResults(r.Context(), cursor, func(line []byte) error {
 			if _, err := w.Write(line); err != nil {
 				return err
@@ -202,6 +233,11 @@ func sweepHandler(e *Engine) http.HandlerFunc {
 		if !ok {
 			return
 		}
+		if req.Distributed {
+			err := invalidf("distributed mode requires an asynchronous job (POST /v2/jobs)")
+			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+			return
+		}
 		plan, err := e.PlanSweep(req)
 		if err != nil {
 			writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
@@ -242,7 +278,7 @@ func errStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrTooManyJobs):
 		return http.StatusTooManyRequests
-	case errors.Is(err, errStoreClosed), isContextErr(err):
+	case errors.Is(err, ErrNotReady), errors.Is(err, errStoreClosed), isContextErr(err):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

@@ -206,7 +206,10 @@ func TestRepeatYieldServedFromCacheViaHTTP(t *testing.T) {
 }
 
 func TestServerLifecycle(t *testing.T) {
-	srv := NewServer(ServerConfig{Addr: "127.0.0.1:0", Engine: EngineConfig{DefaultRuns: 200}})
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Engine: EngineConfig{DefaultRuns: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,11 @@ var ErrJobNotFound = errors.New("job not found")
 // ErrTooManyJobs tags job creation attempts rejected because the store is
 // full of unfinished jobs; handlers map it to HTTP 429.
 var ErrTooManyJobs = errors.New("too many jobs")
+
+// ErrNotReady tags requests that arrived while the durable store is still
+// replaying its on-disk jobs; handlers (and the readiness probe) map it to
+// HTTP 503 so clients and load balancers retry elsewhere.
+var ErrNotReady = errors.New("job store not ready")
 
 // errStoreClosed rejects job creation during shutdown; handlers map it to
 // HTTP 503 like any other unavailability.
@@ -54,6 +60,8 @@ type JobStatus struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	// Error describes why a failed job stopped.
 	Error string `json:"error,omitempty"`
+	// Distributed reports whether the job is sharded across remote workers.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // JobCounters aggregates the store's lifetime accounting for /v1/stats.
@@ -65,31 +73,69 @@ type JobCounters struct {
 	PointsEvaluated uint64
 }
 
-// JobStoreConfig tunes the in-memory job store. The zero value gives
-// sensible defaults.
+// JobStore is the interface the handlers and server run against: job
+// lifecycle (create, look up, cancel via Job, drain), retention accounting,
+// and readiness. NewJobStore builds the in-memory implementation,
+// NewFileJobStore the durable one; both return the same *Store orchestrator
+// parameterized by a persistence backend.
+type JobStore interface {
+	// Create validates req, registers a new job, and starts evaluating it.
+	Create(ctx context.Context, req SweepRequest) (*Job, error)
+	// Get returns the job with the given ID.
+	Get(id string) (*Job, error)
+	// Counters snapshots the store's job accounting.
+	Counters() JobCounters
+	// BufferBytes returns the encoded result bytes held by finished jobs.
+	BufferBytes() int64
+	// DiskBytes returns the bytes held on disk by the durable backend
+	// (0 for the in-memory store).
+	DiskBytes() int64
+	// Evictions counts jobs evicted by the retention bounds.
+	Evictions() uint64
+	// Ready reports whether the store can accept work: true once any
+	// durable replay has finished, false again once shutdown begins — the
+	// readiness probe's source of truth.
+	Ready() bool
+	// DispatchStats snapshots the distributed runner's accounting (zero
+	// when dispatch is not configured).
+	DispatchStats() DispatchStats
+	// Close cancels running jobs and waits for their goroutines.
+	Close(ctx context.Context) error
+}
+
+// JobStoreConfig tunes a job store. The zero value gives sensible defaults.
 type JobStoreConfig struct {
-	// MaxJobs bounds the jobs retained in memory (running and finished
-	// combined); 0 means 128. Creating a job beyond the bound evicts the
-	// oldest finished job, or fails with ErrTooManyJobs if every retained
-	// job is still running.
+	// MaxJobs bounds the jobs retained (running and finished combined);
+	// 0 means 128. Creating a job beyond the bound evicts the oldest
+	// finished job — including its on-disk artifacts in a durable store —
+	// or fails with ErrTooManyJobs if every retained job is still running.
 	MaxJobs int
 	// MaxResultBytes bounds the encoded result lines retained by finished
 	// jobs; 0 means 64 MiB. When a finishing job pushes the total over the
 	// bound, the oldest finished jobs are evicted (running jobs never are),
-	// so a flood of cheap huge-grid jobs cannot pin unbounded heap.
+	// so a flood of cheap huge-grid jobs cannot pin unbounded heap — or,
+	// durably, unbounded disk.
 	MaxResultBytes int64
+	// Runner executes jobs that request distributed mode by sharding them
+	// across remote workers. nil rejects distributed jobs with a 400.
+	Runner DistributedRunner
 }
 
-// JobStore owns the lifecycle of asynchronous sweep jobs: creation
-// (validated by the engine's sweep planner), execution (one goroutine per
-// job, evaluating through the engine's cache/single-flight/admission
-// layers), result buffering for cursor-resumable streaming, cancellation,
-// and shutdown draining. Results live in memory for as long as the job is
-// retained, so a client can re-read any byte range at any time.
-type JobStore struct {
+// Store is the canonical JobStore implementation: the lifecycle of
+// asynchronous sweep jobs — creation (validated by the engine's sweep
+// planner), execution (one goroutine per job, locally through the engine's
+// cache/single-flight/admission layers or remotely through a
+// DistributedRunner), result buffering for cursor-resumable streaming,
+// cancellation, and shutdown draining — over a pluggable persistence
+// backend. With the file backend every result line is fsynced before it
+// becomes readable, and a restarted store replays finished jobs and resumes
+// partial ones at their first missing grid point instead of recomputing.
+type Store struct {
 	engine   *Engine
 	maxJobs  int
 	maxBytes int64
+	persist  jobPersister
+	runner   DistributedRunner
 
 	mu            sync.Mutex
 	jobs          map[string]*Job
@@ -97,6 +143,8 @@ type JobStore struct {
 	seq           int
 	closed        bool
 	finishedBytes int64 // encoded result bytes held by finished jobs
+
+	ready atomic.Bool // false until any durable replay completes
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -108,9 +156,12 @@ type JobStore struct {
 	points    atomic.Uint64
 }
 
-// NewJobStore builds a store executing jobs on e, registering the job
-// lifecycle series on e's metric registry.
-func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
+// Store must satisfy the interface it canonically implements.
+var _ JobStore = (*Store)(nil)
+
+// newStore builds the orchestrator around a persistence backend and
+// registers the job lifecycle series on e's metric registry.
+func newStore(e *Engine, cfg JobStoreConfig, persist jobPersister) *Store {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 128
 	}
@@ -118,10 +169,12 @@ func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
 		cfg.MaxResultBytes = 64 << 20
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &JobStore{
+	s := &Store{
 		engine:    e,
 		maxJobs:   cfg.MaxJobs,
 		maxBytes:  cfg.MaxResultBytes,
+		persist:   persist,
+		runner:    cfg.Runner,
 		jobs:      make(map[string]*Job),
 		baseCtx:   ctx,
 		cancelAll: cancel,
@@ -152,38 +205,202 @@ func NewJobStore(e *Engine, cfg JobStoreConfig) *JobStore {
 	return s
 }
 
+// NewJobStore builds the in-memory store executing jobs on e. Results live
+// only in process memory: a restart forgets every job.
+func NewJobStore(e *Engine, cfg JobStoreConfig) *Store {
+	s := newStore(e, cfg, nullPersister{})
+	s.ready.Store(true)
+	return s
+}
+
+// NewFileJobStore builds the durable store rooted at dir: every job's
+// manifest and result log live on disk (fsync per committed record), and
+// construction replays the directory in the background — finished jobs
+// become readable again, partial jobs resume evaluation at their first
+// missing grid point. Until the replay scan completes, Ready reports false
+// and Create/Get return ErrNotReady (HTTP 503).
+func NewFileJobStore(e *Engine, cfg JobStoreConfig, dir string) (*Store, error) {
+	return newFileJobStore(e, cfg, dir, nil)
+}
+
+// newFileJobStore is NewFileJobStore with a test hook: a non-nil gate delays
+// the replay scan until the channel closes, letting tests observe the
+// not-ready window deterministically.
+func newFileJobStore(e *Engine, cfg JobStoreConfig, dir string, gate chan struct{}) (*Store, error) {
+	p, err := newFilePersister(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(e, cfg, p)
+	e.Registry().GaugeFunc("dmfb_job_store_disk_bytes",
+		"Bytes held on disk by the durable job store (manifests and result logs).",
+		func() float64 { return float64(s.DiskBytes()) })
+	go func() {
+		if gate != nil {
+			<-gate
+		}
+		s.replay()
+	}()
+	return s, nil
+}
+
+// replay recovers the durable backend's jobs: terminal jobs become readable,
+// running jobs are re-planned and resumed at the first grid point missing
+// from their result log. It runs once, in the background, before the store
+// reports ready.
+func (s *Store) replay() {
+	defer s.ready.Store(true)
+	pjobs, err := s.persist.load()
+	if err != nil {
+		s.logger().Error("job store replay failed; starting empty",
+			slog.String("error", err.Error()))
+		return
+	}
+	type resume struct {
+		j   *Job
+		ctx context.Context
+	}
+	var resumes []resume
+	s.mu.Lock()
+	for _, pj := range pjobs {
+		m := pj.manifest
+		if s.closed || s.jobs[m.ID] != nil {
+			continue
+		}
+		var total int64
+		for _, l := range pj.lines {
+			total += int64(len(l))
+		}
+		j := &Job{
+			id:          m.ID,
+			store:       s,
+			req:         m.Request,
+			distributed: m.Request.Distributed,
+			totalPoints: m.TotalPoints,
+			lines:       pj.lines,
+			bytes:       total,
+			state:       m.State,
+			errMsg:      m.Error,
+			created:     m.CreatedAt,
+			done:        make(chan struct{}),
+			update:      make(chan struct{}),
+		}
+		if seq := jobSeq(m.ID); seq > s.seq {
+			s.seq = seq
+		}
+		if m.State.terminal() {
+			if m.FinishedAt != nil {
+				j.finished = *m.FinishedAt
+			} else {
+				j.finished = m.CreatedAt
+			}
+			j.accounted = true
+			s.finishedBytes += j.bytes
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			continue
+		}
+		// A job found running was interrupted by a crash or restart:
+		// resume it. Re-planning can fail if the server's limits changed or
+		// distributed mode lost its runner; such jobs fail cleanly rather
+		// than recompute under different rules.
+		j.resumeFrom = len(pj.lines)
+		plan, perr := s.engine.PlanSweep(m.Request)
+		switch {
+		case perr != nil:
+			perr = fmt.Errorf("resume after restart: %w", perr)
+		case m.Request.Distributed && s.runner == nil:
+			perr = errors.New("resume after restart: job is distributed but dispatch is not enabled")
+		case len(pj.lines) > plan.NumPoints():
+			perr = fmt.Errorf("resume after restart: result log has %d records for a %d-point grid", len(pj.lines), plan.NumPoints())
+		}
+		if perr != nil {
+			j.state = JobFailed
+			j.errMsg = perr.Error()
+			j.finished = time.Now()
+			j.accounted = true
+			s.finishedBytes += j.bytes
+			s.failed.Add(1)
+			close(j.done)
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.persistTerminal(j)
+			continue
+		}
+		j.plan = plan
+		jobCtx, cancel := context.WithCancel(s.baseCtx)
+		j.cancel = cancel
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.wg.Add(1)
+		resumes = append(resumes, resume{j: j, ctx: jobCtx})
+	}
+	// Retention must hold across restarts: evict oldest finished jobs (and
+	// their disk artifacts) until both bounds are satisfied again.
+	s.enforceBoundsLocked(nil)
+	s.mu.Unlock()
+	for _, r := range resumes {
+		s.logger().Info("resuming interrupted job",
+			slog.String("job", r.j.id), slog.Int("from_point", r.j.resumeFrom))
+		go r.j.run(r.ctx)
+	}
+}
+
+// logger returns the engine's logger, or a discard logger when unset.
+func (s *Store) logger() *slog.Logger {
+	if s.engine.logger != nil {
+		return s.engine.logger
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
 // Job is one asynchronous sweep: a validated plan plus an append-only
 // buffer of encoded NDJSON result lines. Lines are encoded exactly once,
 // when the point completes, so every read of the same range returns
 // identical bytes — the property that makes interrupted streams resumable
-// without re-simulation.
+// without re-simulation. With a durable store each line is additionally
+// fsynced to the job's result log before it becomes visible, so the buffer
+// survives a coordinator restart.
 type Job struct {
-	id     string
-	store  *JobStore
-	plan   *SweepPlan
-	cancel context.CancelFunc
-	done   chan struct{}
+	id          string
+	store       *Store
+	plan        *SweepPlan
+	req         SweepRequest
+	distributed bool
+	totalPoints int
+	resumeFrom  int // grid points already on disk when this run started
+	cancel      context.CancelFunc
+	done        chan struct{}
 
-	mu        sync.Mutex
-	lines     [][]byte
-	bytes     int64 // total encoded bytes in lines
-	accounted bool  // bytes added to the store's finishedBytes
-	state     JobState
-	errMsg    string
-	created   time.Time
-	finished  time.Time
-	update    chan struct{} // closed and replaced on every append/transition
+	mu         sync.Mutex
+	lines      [][]byte
+	bytes      int64 // total encoded bytes in lines
+	accounted  bool  // bytes added to the store's finishedBytes
+	state      JobState
+	errMsg     string
+	created    time.Time
+	finished   time.Time
+	userCancel bool          // cancelled by a client, not by store shutdown
+	update     chan struct{} // closed and replaced on every append/transition
 }
 
 // Create validates req through the engine's sweep planner, registers a new
 // job, and starts evaluating it in the background. Validation failures
-// surface as ErrInvalidRequest exactly like a synchronous /v1/sweep.
+// surface as ErrInvalidRequest exactly like a synchronous /v1/sweep. A
+// request with distributed mode set requires a configured DistributedRunner.
 //
 // The job's execution context derives from the store (so shutdown cancels
 // it), but it inherits the trace ID of the creating request's ctx: kernel
 // chunk spans evaluated by the job name the POST /v2/jobs request that
 // started it, long after that request returned 202.
-func (s *JobStore) Create(ctx context.Context, req SweepRequest) (*Job, error) {
+func (s *Store) Create(ctx context.Context, req SweepRequest) (*Job, error) {
+	if !s.ready.Load() {
+		return nil, fmt.Errorf("%w: replaying the durable store", ErrNotReady)
+	}
+	if req.Distributed && s.runner == nil {
+		return nil, invalidf("distributed mode requested but dispatch is not enabled on this server")
+	}
 	plan, err := s.engine.PlanSweep(req)
 	if err != nil {
 		return nil, err
@@ -201,14 +418,24 @@ func (s *JobStore) Create(ctx context.Context, req SweepRequest) (*Job, error) {
 	s.seq++
 	jobCtx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		id:      fmt.Sprintf("job-%d", s.seq),
-		store:   s,
-		plan:    plan,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		state:   JobRunning,
-		created: time.Now(),
-		update:  make(chan struct{}),
+		id:          fmt.Sprintf("job-%d", s.seq),
+		store:       s,
+		plan:        plan,
+		req:         req,
+		distributed: req.Distributed,
+		totalPoints: plan.NumPoints(),
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       JobRunning,
+		created:     time.Now(),
+		update:      make(chan struct{}),
+	}
+	// The manifest is the durable birth certificate: it must exist before
+	// any result line, or a crash between the two leaves an orphan log.
+	if err := s.persist.saveManifest(j.manifest()); err != nil {
+		cancel()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: persist job manifest: %w", err)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -218,9 +445,42 @@ func (s *JobStore) Create(ctx context.Context, req SweepRequest) (*Job, error) {
 	return j, nil
 }
 
+// manifest snapshots the job for the durable backend. Callers may hold
+// either s.mu or j.mu but not need both: every field read here is immutable
+// after creation except state/error/finished, which only the job's own
+// goroutine writes.
+func (j *Job) manifest() jobManifest {
+	m := jobManifest{
+		ID:          j.id,
+		State:       j.state,
+		Error:       j.errMsg,
+		TotalPoints: j.totalPoints,
+		CreatedAt:   j.created,
+		Request:     j.req,
+	}
+	if j.state.terminal() {
+		fin := j.finished
+		m.FinishedAt = &fin
+	}
+	return m
+}
+
+// persistTerminal records a job's terminal state in the durable backend and
+// releases its result-log handle.
+func (s *Store) persistTerminal(j *Job) {
+	j.mu.Lock()
+	m := j.manifest()
+	j.mu.Unlock()
+	if err := s.persist.saveManifest(m); err != nil {
+		s.logger().Error("persist terminal job state",
+			slog.String("job", j.id), slog.String("error", err.Error()))
+	}
+	s.persist.finishResults(j.id)
+}
+
 // evictLocked makes room for one more job, dropping the oldest finished job
 // when the store is at capacity. Requires s.mu.
-func (s *JobStore) evictLocked() error {
+func (s *Store) evictLocked() error {
 	if len(s.jobs) < s.maxJobs {
 		return nil
 	}
@@ -240,9 +500,10 @@ func (s *JobStore) evictLocked() error {
 	return fmt.Errorf("%w: %d jobs running, retention cap %d", ErrTooManyJobs, len(s.jobs), s.maxJobs)
 }
 
-// removeLocked drops a terminal job from the store's bookkeeping. Requires
-// s.mu; takes j.mu briefly for the byte accounting.
-func (s *JobStore) removeLocked(i int, id string, j *Job) {
+// removeLocked drops a terminal job from the store's bookkeeping and
+// deletes its durable artifacts. Requires s.mu; takes j.mu briefly for the
+// byte accounting.
+func (s *Store) removeLocked(i int, id string, j *Job) {
 	delete(s.jobs, id)
 	s.order = append(s.order[:i], s.order[i+1:]...)
 	j.mu.Lock()
@@ -250,28 +511,21 @@ func (s *JobStore) removeLocked(i int, id string, j *Job) {
 		s.finishedBytes -= j.bytes
 	}
 	j.mu.Unlock()
+	if err := s.persist.remove(id); err != nil {
+		s.logger().Error("remove evicted job artifacts",
+			slog.String("job", id), slog.String("error", err.Error()))
+	}
 	s.engine.metrics.jobEvictions.Inc()
 }
 
-// noteFinished moves a just-terminal job's buffer into the finished-bytes
-// account and evicts the oldest finished jobs (never j itself, never a
-// running job) while the account exceeds the store's byte bound.
-func (s *JobStore) noteFinished(j *Job) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// The job may have been evicted by a concurrent Create between turning
-	// terminal and reaching here; only account for retained jobs.
-	if _, ok := s.jobs[j.id]; ok {
-		j.mu.Lock()
-		s.finishedBytes += j.bytes
-		j.accounted = true
-		j.mu.Unlock()
-	}
-	for s.finishedBytes > s.maxBytes {
+// enforceBoundsLocked evicts the oldest finished jobs (never except, never a
+// running job) while either retention bound is exceeded. Requires s.mu.
+func (s *Store) enforceBoundsLocked(except *Job) {
+	for s.finishedBytes > s.maxBytes || len(s.jobs) > s.maxJobs {
 		evicted := false
 		for i, id := range s.order {
 			other := s.jobs[id]
-			if other == nil || other == j {
+			if other == nil || other == except {
 				continue
 			}
 			other.mu.Lock()
@@ -284,13 +538,35 @@ func (s *JobStore) noteFinished(j *Job) {
 			}
 		}
 		if !evicted {
-			break // only j and running jobs remain; the bound is best-effort
+			break // only except and running jobs remain; the bound is best-effort
 		}
 	}
 }
 
+// noteFinished moves a just-terminal job's buffer into the finished-bytes
+// account and evicts the oldest finished jobs while the account exceeds the
+// store's byte bound.
+func (s *Store) noteFinished(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The job may have been evicted by a concurrent Create between turning
+	// terminal and reaching here; only account for retained jobs.
+	if _, ok := s.jobs[j.id]; ok {
+		j.mu.Lock()
+		s.finishedBytes += j.bytes
+		j.accounted = true
+		j.mu.Unlock()
+	}
+	if s.finishedBytes > s.maxBytes {
+		s.enforceBoundsLocked(j)
+	}
+}
+
 // Get returns the job with the given ID.
-func (s *JobStore) Get(id string) (*Job, error) {
+func (s *Store) Get(id string) (*Job, error) {
+	if !s.ready.Load() {
+		return nil, fmt.Errorf("%w: replaying the durable store", ErrNotReady)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -302,20 +578,46 @@ func (s *JobStore) Get(id string) (*Job, error) {
 
 // BufferBytes returns the encoded result bytes currently held by finished
 // jobs (the quantity bounded by MaxResultBytes).
-func (s *JobStore) BufferBytes() int64 {
+func (s *Store) BufferBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.finishedBytes
 }
 
+// DiskBytes returns the bytes held on disk by the durable backend (0 for
+// the in-memory store) — the dmfb_job_store_disk_bytes gauge.
+func (s *Store) DiskBytes() int64 {
+	return s.persist.diskBytes()
+}
+
 // Evictions returns the number of finished jobs evicted by the retention
 // and byte bounds over the store's lifetime.
-func (s *JobStore) Evictions() uint64 {
+func (s *Store) Evictions() uint64 {
 	return s.engine.metrics.jobEvictions.Value()
 }
 
+// Ready reports whether the store accepts work: any durable replay has
+// completed and shutdown has not begun.
+func (s *Store) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// DispatchStats snapshots the distributed runner's accounting; zero when
+// dispatch is not configured.
+func (s *Store) DispatchStats() DispatchStats {
+	if s.runner == nil {
+		return DispatchStats{}
+	}
+	return s.runner.Stats()
+}
+
 // Counters snapshots the store's job accounting.
-func (s *JobStore) Counters() JobCounters {
+func (s *Store) Counters() JobCounters {
 	s.mu.Lock()
 	active := 0
 	for _, j := range s.jobs {
@@ -336,9 +638,12 @@ func (s *JobStore) Counters() JobCounters {
 }
 
 // Close cancels every running job and waits for all job goroutines to exit
-// (or ctx to expire). After Close, Create fails; finished results remain
-// readable until the process exits.
-func (s *JobStore) Close(ctx context.Context) error {
+// (or ctx to expire). After Close, Create fails and Ready reports false;
+// finished results remain readable until the process exits. With a durable
+// store, jobs interrupted by shutdown keep their on-disk state "running":
+// the next store on the same directory resumes them where they stopped —
+// client-requested cancellations stay cancelled.
+func (s *Store) Close(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
@@ -350,22 +655,45 @@ func (s *JobStore) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.persist.close()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: job drain: %w", ctx.Err())
 	}
 }
 
-// run executes the job's sweep, appending one encoded NDJSON line per
-// completed point, and records the terminal state.
+// crashForTest simulates a SIGKILL of the coordinator: persistence stops
+// mid-flight (no terminal states are written), running jobs are aborted,
+// and file handles are released so a new store can be opened on the same
+// directory. Only meaningful with a durable backend; tests use it to assert
+// restart-resume semantics without spawning processes.
+func (s *Store) crashForTest() {
+	if fp, ok := s.persist.(*filePersister); ok {
+		fp.crashForTest()
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+// run executes the job's sweep — locally through the engine, or sharded
+// across workers through the store's runner — appending one encoded NDJSON
+// line per completed point, and records the terminal state. Each line is
+// durably persisted before it becomes visible to streams, so a reader's
+// cursor never runs ahead of what a restart can replay.
 func (j *Job) run(ctx context.Context) {
 	defer j.store.wg.Done()
-	err := j.store.engine.RunSweep(ctx, j.plan, func(rec SweepRecord) error {
+	emit := func(rec SweepRecord) error {
 		line, err := json.Marshal(rec)
 		if err != nil {
 			return err
 		}
 		line = append(line, '\n')
+		if err := j.store.persist.appendResult(j.id, line); err != nil {
+			return fmt.Errorf("persist result record: %w", err)
+		}
 		j.mu.Lock()
 		j.lines = append(j.lines, line)
 		j.bytes += int64(len(line))
@@ -373,7 +701,18 @@ func (j *Job) run(ctx context.Context) {
 		j.mu.Unlock()
 		j.store.points.Add(1)
 		return nil
-	})
+	}
+	var err error
+	if j.distributed {
+		// Workers resolve nothing themselves: the forwarded request pins
+		// the run count the coordinator's planner resolved, so a worker
+		// with different engine defaults still computes identical records.
+		req := j.req
+		req.Runs = j.plan.SimParams().Runs
+		err = j.store.runner.RunJob(ctx, j.id, j.plan, req, j.resumeFrom, emit)
+	} else {
+		err = j.store.engine.RunSweepRange(ctx, j.plan, j.resumeFrom, j.plan.NumPoints(), emit)
+	}
 	j.mu.Lock()
 	switch {
 	case err == nil:
@@ -391,8 +730,24 @@ func (j *Job) run(ctx context.Context) {
 	j.store.engine.metrics.jobDuration.Observe(j.finished.Sub(j.created).Seconds())
 	j.bumpLocked()
 	close(j.done)
+	shutdownCancelled := j.state == JobCancelled && !j.userCancel
 	j.mu.Unlock()
+	if shutdownCancelled && j.store.isClosed() {
+		// Interrupted by store shutdown, not by a client: leave the durable
+		// state "running" so the next store resumes instead of recording a
+		// cancellation the user never asked for. Release the log handle only.
+		j.store.persist.finishResults(j.id)
+	} else {
+		j.store.persistTerminal(j)
+	}
 	j.store.noteFinished(j)
+}
+
+// isClosed reports whether shutdown has begun.
+func (s *Store) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // bumpLocked wakes every stream waiting for more lines or a state change.
@@ -412,10 +767,11 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:          j.id,
 		State:       j.state,
-		TotalPoints: j.plan.NumPoints(),
+		TotalPoints: j.totalPoints,
 		PointsDone:  len(j.lines),
 		CreatedAt:   j.created,
 		Error:       j.errMsg,
+		Distributed: j.distributed,
 	}
 	if j.state.terminal() {
 		fin := j.finished
@@ -426,8 +782,15 @@ func (j *Job) Status() JobStatus {
 
 // Cancel stops the job and waits for its goroutine to finish, so the
 // returned status is already terminal. Cancelling a finished job is a no-op.
+// A cancellation requested here is durable: unlike a shutdown interruption,
+// the job stays cancelled across a store restart.
 func (j *Job) Cancel() JobStatus {
-	j.cancel()
+	j.mu.Lock()
+	j.userCancel = true
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
 	<-j.done
 	return j.Status()
 }

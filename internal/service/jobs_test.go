@@ -23,7 +23,7 @@ const slowJobBody = `{"strategies":["local","hex"],"designs":["DTMB(4,4)"],` +
 	`"n_primaries":[100],"p_min":0.90,"p_max":0.99,"p_points":16,` +
 	`"defect_models":["independent","clustered"],"runs":200000,"seed":3}`
 
-func testJobMux(t *testing.T, cfg EngineConfig, jcfg JobStoreConfig) (*http.ServeMux, *JobStore) {
+func testJobMux(t *testing.T, cfg EngineConfig, jcfg JobStoreConfig) (*http.ServeMux, *Store) {
 	t.Helper()
 	e := NewEngine(cfg)
 	jobs := NewJobStore(e, jcfg)

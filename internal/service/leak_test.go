@@ -23,10 +23,13 @@ import (
 func TestSweepStreamCancelAndShutdownJoinsAllGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	srv := NewServer(ServerConfig{
+	srv, err := NewServer(ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: EngineConfig{DefaultRuns: 200000, Workers: 4, MaxConcurrent: 2},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +102,13 @@ func TestSweepStreamCancelAndShutdownJoinsAllGoroutines(t *testing.T) {
 func TestJobShutdownDrainsWithoutLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	srv := NewServer(ServerConfig{
+	srv, err := NewServer(ServerConfig{
 		Addr:   "127.0.0.1:0",
 		Engine: EngineConfig{DefaultRuns: 200000, Workers: 4, MaxConcurrent: 2},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := srv.Listen(); err != nil {
 		t.Fatal(err)
 	}

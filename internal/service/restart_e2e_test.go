@@ -1,0 +1,204 @@
+// Coordinator-restart end-to-end test. It lives in package service_test so
+// it can import the dispatch package (which itself imports service) without
+// a cycle — exactly the wiring cmd/dtmb-serve does.
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dmfb/internal/dispatch"
+	"dmfb/internal/service"
+)
+
+// TestCoordinatorRestartResumesDistributedJob is the full crash story: a
+// coordinator with a durable store is SIGKILLed mid-distributed-job (no
+// graceful drain, no terminal manifests), a fresh coordinator on the same
+// store directory replays the job, redispatches the remaining shards to a
+// fresh worker fleet, and the merged stream is byte-identical to a
+// single-process run at every cursor.
+func TestCoordinatorRestartResumesDistributedJob(t *testing.T) {
+	req := service.SweepRequest{
+		Strategies:   []string{"local", "hex"},
+		Designs:      []string{"DTMB(2,6)"},
+		NPrimaries:   []int{100},
+		PMin:         0.90,
+		PMax:         0.99,
+		PPoints:      12,
+		DefectModels: []string{"independent"},
+		Runs:         15000,
+		Seed:         3,
+	}
+	newEngine := func() *service.Engine {
+		return service.NewEngine(service.EngineConfig{DefaultRuns: 150, CacheSize: 256})
+	}
+
+	// Single-process golden.
+	golden := func() []byte {
+		s := service.NewJobStore(newEngine(), service.JobStoreConfig{})
+		defer s.Close(context.Background())
+		j, err := s.Create(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if st, err := j.Wait(ctx); err != nil || st.State != service.JobCompleted {
+			t.Fatalf("golden job: %+v, %v", st, err)
+		}
+		return streamAll(t, j, 0)
+	}()
+
+	dir := t.TempDir()
+	dreq := req
+	dreq.Distributed = true
+
+	// Generation 1: durable store + coordinator + two workers.
+	e1 := newEngine()
+	// A generous TTL: this test's recovery comes from the restart itself (a
+	// new coordinator starts with every unmerged shard pending), not from
+	// lease expiry — and a short TTL thrashes when the race detector slows
+	// shard evaluation past it.
+	coord1 := dispatch.NewCoordinator(dispatch.Config{
+		LeaseTTL: 10 * time.Second, ShardSize: 2, Registry: e1.Registry(),
+	})
+	store1, err := service.NewFileJobStore(e1, service.JobStoreConfig{Runner: coord1}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, store1)
+	srv1 := httptest.NewServer(service.NewMux(e1, store1, coord1.Routes()...))
+	wctx1, killWorkers1 := context.WithCancel(context.Background())
+	var wg1 sync.WaitGroup
+	startWorkers(t, &wg1, wctx1, srv1.URL, 2)
+
+	j, err := store1.Create(context.Background(), dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := j.ID()
+	waitPoints(t, j, 3)
+
+	// SIGKILL the whole generation: workers vanish, the store stops
+	// persisting mid-flight — the on-disk state stays "running".
+	killWorkers1()
+	wg1.Wait()
+	store1.CrashForTest()
+	coord1.Close()
+	srv1.Close()
+
+	// Generation 2 on the same directory: replay finds the running job and
+	// hands its remaining points to the new coordinator.
+	e2 := newEngine()
+	coord2 := dispatch.NewCoordinator(dispatch.Config{
+		LeaseTTL: 10 * time.Second, ShardSize: 2, Registry: e2.Registry(),
+	})
+	defer coord2.Close()
+	store2, err := service.NewFileJobStore(e2, service.JobStoreConfig{Runner: coord2}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := store2.Close(ctx); err != nil {
+			t.Errorf("store2 close: %v", err)
+		}
+	}()
+	waitReady(t, store2)
+	srv2 := httptest.NewServer(service.NewMux(e2, store2, coord2.Routes()...))
+	defer srv2.Close()
+	wctx2, killWorkers2 := context.WithCancel(context.Background())
+	var wg2 sync.WaitGroup
+	defer func() { killWorkers2(); wg2.Wait() }()
+	startWorkers(t, &wg2, wctx2, srv2.URL, 2)
+
+	j2, err := store2.Get(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Status().PointsDone; got < 1 {
+		t.Errorf("restart lost the persisted prefix: PointsDone = %d", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	st, err := j2.Wait(ctx)
+	if err != nil || st.State != service.JobCompleted {
+		t.Fatalf("resumed distributed job: %+v, %v", st, err)
+	}
+
+	if got := streamAll(t, j2, 0); !bytes.Equal(got, golden) {
+		t.Fatalf("resumed stream diverges from golden: %d bytes vs %d", len(got), len(golden))
+	}
+	lines := bytes.SplitAfter(golden, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	for _, cursor := range []int{1, len(lines) / 2, len(lines)} {
+		want := bytes.Join(lines[cursor:], nil)
+		if got := streamAll(t, j2, cursor); !bytes.Equal(got, want) {
+			t.Fatalf("cursor %d: resumed stream diverges from golden suffix", cursor)
+		}
+	}
+}
+
+func streamAll(t *testing.T, j *service.Job, cursor int) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var buf bytes.Buffer
+	if _, err := j.StreamResults(ctx, cursor, func(line []byte) error {
+		_, err := buf.Write(line)
+		return err
+	}); err != nil {
+		t.Fatalf("stream from cursor %d: %v", cursor, err)
+	}
+	return buf.Bytes()
+}
+
+func waitReady(t *testing.T, s *service.Store) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("store never became ready")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func waitPoints(t *testing.T, j *service.Job, n int) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for j.Status().PointsDone < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %d points, want >= %d", j.Status().PointsDone, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func startWorkers(t *testing.T, wg *sync.WaitGroup, ctx context.Context, url string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := dispatch.RunWorker(ctx, dispatch.WorkerConfig{
+				Coordinator: url,
+				Name:        name,
+				Engine:      service.EngineConfig{CacheSize: 64},
+				Poll:        20 * time.Millisecond,
+			})
+			if err != nil && ctx.Err() == nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}()
+	}
+}

@@ -23,6 +23,14 @@ type ServerConfig struct {
 	Engine EngineConfig
 	// Jobs tunes the asynchronous sweep-job store.
 	Jobs JobStoreConfig
+	// StoreDir, when non-empty, backs the job store with the durable
+	// file-based implementation rooted there: jobs survive a coordinator
+	// restart (finished jobs replay, partial jobs resume). Empty keeps the
+	// in-memory store.
+	StoreDir string
+	// ExtraRoutes are mounted on the server's mux verbatim — the dispatch
+	// coordinator's /v2/workers/* endpoints arrive here.
+	ExtraRoutes []Route
 	// Logger receives lifecycle events, the structured access log, and (at
 	// debug level) kernel chunk spans; nil means JSON to stderr at info.
 	// When Engine.Logger is unset it inherits this logger, so one injection
@@ -35,14 +43,15 @@ type ServerConfig struct {
 // cancels running jobs without leaking their goroutines.
 type Server struct {
 	engine *Engine
-	jobs   *JobStore
+	jobs   *Store
 	http   *http.Server
 	ln     net.Listener
 	logger *slog.Logger
 }
 
 // NewServer builds the server; call Listen then Serve (or combine via Run).
-func NewServer(cfg ServerConfig) *Server {
+// Construction fails only when a configured StoreDir cannot be prepared.
+func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = ":8080"
 	}
@@ -54,17 +63,26 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.Engine.Logger = logger
 	}
 	engine := NewEngine(cfg.Engine)
-	jobs := NewJobStore(engine, cfg.Jobs)
+	var jobs *Store
+	if cfg.StoreDir != "" {
+		var err error
+		jobs, err = NewFileJobStore(engine, cfg.Jobs, cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		jobs = NewJobStore(engine, cfg.Jobs)
+	}
 	return &Server{
 		engine: engine,
 		jobs:   jobs,
 		logger: logger,
 		http: &http.Server{
 			Addr:              cfg.Addr,
-			Handler:           NewHandler(engine, jobs, logger),
+			Handler:           NewHandler(engine, jobs, logger, cfg.ExtraRoutes...),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
-	}
+	}, nil
 }
 
 // NewHandler assembles the full serving stack: the v1+v2 mux wrapped in the
@@ -73,18 +91,18 @@ func NewServer(cfg ServerConfig) *Server {
 // per request). Tests that need the exact production behavior — 415s,
 // X-Request-ID headers — use this instead of the bare NewMux. A nil logger
 // discards log output (metrics and trace propagation still apply).
-func NewHandler(e *Engine, jobs *JobStore, logger *slog.Logger) http.Handler {
+func NewHandler(e *Engine, jobs JobStore, logger *slog.Logger, extra ...Route) http.Handler {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	return withMiddleware(NewMux(e, jobs), logger, e.metrics)
+	return withMiddleware(NewMux(e, jobs, extra...), logger, e.metrics)
 }
 
 // Engine exposes the underlying engine (for stats and tests).
 func (s *Server) Engine() *Engine { return s.engine }
 
 // Jobs exposes the server's job store (for stats and tests).
-func (s *Server) Jobs() *JobStore { return s.jobs }
+func (s *Server) Jobs() *Store { return s.jobs }
 
 // Listen binds the address; Addr is then available for clients.
 func (s *Server) Listen() error {

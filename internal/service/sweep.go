@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"dmfb/internal/core"
@@ -19,6 +20,17 @@ type SweepPlan struct {
 
 // NumPoints returns the number of grid points the plan will evaluate.
 func (p *SweepPlan) NumPoints() int { return len(p.points) }
+
+// SimParams exposes the plan's resolved simulation parameters (run count,
+// seed, epsilon, chunk size). The dispatch coordinator reads them to pin the
+// determinism-relevant values into shard leases.
+func (p *SweepPlan) SimParams() core.SimParams { return p.sp }
+
+// SetChunkSize overrides the plan's Monte-Carlo chunk size. Workers apply
+// the coordinator's chunk size from the lease — chunk size is part of the
+// determinism contract, so a worker's own default must never leak into a
+// distributed evaluation.
+func (p *SweepPlan) SetChunkSize(n int) { p.sp.ChunkSize = n }
 
 // PlanSweep validates a sweep request — design aliases, axis bounds, grid
 // size, and total simulation work — and expands it into its ordered points.
@@ -169,7 +181,21 @@ func (e *Engine) PlanSweep(req SweepRequest) (*SweepPlan, error) {
 // as /v1/yield — a local-strategy sweep point and an equivalent /v1/yield
 // request share one cache entry.
 func (e *Engine) RunSweep(ctx context.Context, plan *SweepPlan, emit func(SweepRecord) error) error {
-	return sweep.Run(ctx, plan.points, e.cfg.MaxConcurrent, e.sweepEval(plan.sp), func(r sweep.PointResult) error {
+	return e.RunSweepRange(ctx, plan, 0, plan.NumPoints(), emit)
+}
+
+// RunSweepRange evaluates the contiguous grid slice [start, end) of the
+// plan, emitting records strictly in point order with their global grid
+// indices (a shard's records are the exact subsequence of the full sweep's
+// stream). Shard workers and resumed jobs run through here; because every
+// point still flows through evalScenario, the cache, single-flight, and
+// admission layers apply identically to local, resumed, and distributed
+// evaluation.
+func (e *Engine) RunSweepRange(ctx context.Context, plan *SweepPlan, start, end int, emit func(SweepRecord) error) error {
+	if start < 0 || end > len(plan.points) || start > end {
+		return fmt.Errorf("service: sweep range [%d,%d) outside grid of %d points", start, end, len(plan.points))
+	}
+	return sweep.Run(ctx, plan.points[start:end], e.cfg.MaxConcurrent, e.sweepEval(plan.sp), func(r sweep.PointResult) error {
 		return emit(sweepRecord(r))
 	})
 }

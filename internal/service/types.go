@@ -268,6 +268,11 @@ type SweepRequest struct {
 	// the per-point trial budget. Each record's runs field reports the
 	// realized count. Must be in [0, 1); 0 keeps fixed-run behavior.
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Distributed, on a /v2/jobs request, shards the sweep across registered
+	// remote workers instead of evaluating in-process. Requires the server to
+	// run with dispatch enabled; the merged result stream is byte-identical
+	// to local execution. Ignored (rejected) by the synchronous /v1/sweep.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // SweepRecord is one NDJSON line of a sweep response: the grid point's
@@ -335,4 +340,15 @@ type StatsResponse struct {
 	// StreamFlushes counts NDJSON records flushed across the sweep and job
 	// result streams.
 	StreamFlushes uint64 `json:"stream_flushes"`
+
+	// JobStoreDiskBytes is the on-disk footprint of the durable job store
+	// (0 when the store is in-memory).
+	JobStoreDiskBytes int64 `json:"job_store_disk_bytes"`
+	// Dispatch counters accumulate over the coordinator's lifetime; all zero
+	// when distributed dispatch is not enabled.
+	DispatchShardsLeased    uint64 `json:"dispatch_shards_leased"`
+	DispatchShardsCompleted uint64 `json:"dispatch_shards_completed"`
+	DispatchShardsExpired   uint64 `json:"dispatch_shards_expired"`
+	// WorkersActive counts registered workers seen within the liveness window.
+	WorkersActive int `json:"workers_active"`
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Multi-process distributed-sweep smoke test.
+#
+# Boots one dtmb-serve coordinator (durable store + dispatch) and two
+# dtmb-worker processes, submits a distributed sweep job, SIGKILLs one worker
+# mid-sweep (so its leases must expire and redispatch to the survivor), then
+# byte-compares the merged NDJSON stream against the same sweep evaluated
+# in-process on a second, dispatch-free server with a cold cache. Any
+# difference — ordering, float formatting, cache provenance — fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COORD_PORT="${COORD_PORT:-18091}"
+LOCAL_PORT="${LOCAL_PORT:-18092}"
+TMP="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/dtmb-serve" ./cmd/dtmb-serve
+go build -o "$TMP/dtmb-worker" ./cmd/dtmb-worker
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -sf "127.0.0.1:$1/readyz" >/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  echo "server on port $1 never became ready" >&2
+  return 1
+}
+
+# json_field BLOB NAME extracts a scalar field from a one-line JSON blob.
+json_field() { sed -E "s/.*\"$2\":\"?([^\",}]+)\"?.*/\1/" <<<"$1"; }
+
+GRID='"strategies":["local","hex"],"designs":["DTMB(2,6)"],"n_primaries":[100],"p_min":0.90,"p_max":0.99,"p_points":12,"defect_models":["independent"],"runs":60000,"seed":3'
+
+# Coordinator: small shards so the 24-point sweep spreads across both workers
+# and a short lease TTL so the killed worker's shards redispatch quickly.
+"$TMP/dtmb-serve" -addr "127.0.0.1:$COORD_PORT" -dispatch \
+  -store-dir "$TMP/jobs" -shard-size 2 -lease-ttl 2s -log-level warn &
+pids+=($!)
+wait_ready "$COORD_PORT"
+
+"$TMP/dtmb-worker" -coordinator "http://127.0.0.1:$COORD_PORT" -name w1 -poll 100ms -log-level warn &
+w1=$!
+pids+=($w1)
+"$TMP/dtmb-worker" -coordinator "http://127.0.0.1:$COORD_PORT" -name w2 -poll 100ms -log-level warn &
+pids+=($!)
+
+created=$(curl -sf -H 'Content-Type: application/json' \
+  -d "{$GRID,\"distributed\":true}" "127.0.0.1:$COORD_PORT/v2/jobs")
+job=$(json_field "$created" id)
+echo "distributed job: $job"
+
+# SIGKILL one worker mid-sweep: no deregistration, no graceful handoff.
+done_pts=0
+for _ in $(seq 1 300); do
+  status=$(curl -sf "127.0.0.1:$COORD_PORT/v2/jobs/$job")
+  done_pts=$(json_field "$status" points_done)
+  if [ "$done_pts" -ge 2 ]; then break; fi
+  sleep 0.1
+done
+if [ "$done_pts" -lt 2 ]; then
+  echo "job never progressed: $status" >&2
+  exit 1
+fi
+kill -9 "$w1"
+echo "killed worker w1 at $done_pts points"
+
+# Follow the stream to completion, then check the job's terminal state.
+curl -sfN "127.0.0.1:$COORD_PORT/v2/jobs/$job/results?cursor=0" >"$TMP/distributed.ndjson"
+state=$(json_field "$(curl -sf "127.0.0.1:$COORD_PORT/v2/jobs/$job")" state)
+if [ "$state" != completed ]; then
+  echo "distributed job ended $state" >&2
+  exit 1
+fi
+
+# Single-process reference: a fresh dispatch-free server, cold cache.
+"$TMP/dtmb-serve" -addr "127.0.0.1:$LOCAL_PORT" -log-level warn &
+pids+=($!)
+wait_ready "$LOCAL_PORT"
+local_created=$(curl -sf -H 'Content-Type: application/json' \
+  -d "{$GRID}" "127.0.0.1:$LOCAL_PORT/v2/jobs")
+local_job=$(json_field "$local_created" id)
+curl -sfN "127.0.0.1:$LOCAL_PORT/v2/jobs/$local_job/results?cursor=0" >"$TMP/local.ndjson"
+
+if ! cmp -s "$TMP/local.ndjson" "$TMP/distributed.ndjson"; then
+  echo "distributed stream is NOT byte-identical to the single-process run:" >&2
+  diff "$TMP/local.ndjson" "$TMP/distributed.ndjson" | head -20 >&2
+  exit 1
+fi
+
+stats=$(curl -sf "127.0.0.1:$COORD_PORT/v1/stats")
+shards=$(json_field "$stats" dispatch_shards_completed)
+expired=$(json_field "$stats" dispatch_shards_expired)
+echo "byte-identical: $(wc -c <"$TMP/local.ndjson") bytes, $shards shards completed, $expired leases expired"
+if [ "$shards" -lt 12 ]; then
+  echo "expected the 24-point sweep to complete >= 12 shards, got $shards" >&2
+  exit 1
+fi
