@@ -99,8 +99,7 @@ func (e *StreamError) Error() string { return "stream ended with error: " + e.Me
 type Client struct {
 	base      string
 	httpc     *http.Client
-	retries   int
-	backoff   time.Duration
+	policy    Policy
 	requestID string
 }
 
@@ -113,11 +112,21 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.httpc = h }
 }
 
-// WithRetry tunes stream resumption: up to retries reconnect attempts per
-// silent period, backoff apart. Progress (any new record) resets the
-// budget. retries 0 disables resumption.
+// WithPolicy installs the retry/backoff/deadline policy governing every
+// retried path: idempotent request retries, stream reconnects, and the
+// per-attempt timeout. Zero fields fall back to DefaultPolicy.
+func WithPolicy(p Policy) Option {
+	return func(c *Client) { c.policy = p }
+}
+
+// WithRetry is the legacy retry knob, kept as a shim over WithPolicy: up to
+// retries reconnect attempts per silent period (progress refills the
+// budget), backoff apart. retries 0 disables resumption.
 func WithRetry(retries int, backoff time.Duration) Option {
-	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+	return func(c *Client) {
+		c.policy.MaxAttempts = retries + 1
+		c.policy.BaseBackoff = backoff
+	}
 }
 
 // WithRequestID sets the X-Request-ID header on every request this client
@@ -129,12 +138,14 @@ func WithRequestID(id string) Option {
 }
 
 // New builds a client for the server at base (e.g. "http://localhost:8080").
+// The stock *http.Client carries explicit transport limits (dial, TLS, and
+// response-header timeouts) so a stalled server surfaces as an error instead
+// of hanging the caller forever; see defaultTransport.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(base, "/"),
-		httpc:   &http.Client{},
-		retries: 3,
-		backoff: 500 * time.Millisecond,
+		base:   strings.TrimRight(base, "/"),
+		httpc:  &http.Client{Transport: defaultTransport()},
+		policy: DefaultPolicy(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -143,8 +154,27 @@ func New(base string, opts ...Option) *Client {
 }
 
 // do issues one JSON round-trip: POST body (or bare GET/DELETE when in is
-// nil) and decode the 2xx response into out.
+// nil) and decode the 2xx response into out. Idempotent methods (GET,
+// DELETE) are retried under the client's policy on transport faults and
+// 5xx/429 answers; POSTs get exactly one attempt — the server deduplicates
+// worker submissions, but a blindly retried POST /v2/jobs would duplicate
+// the job itself, so non-idempotent retry stays the caller's decision.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if method == http.MethodGet || method == http.MethodDelete {
+		return c.policy.Do(ctx, func(actx context.Context) error {
+			return c.doOnce(actx, method, path, in, out)
+		})
+	}
+	if t := c.policy.normalized().AttemptTimeout; t > 0 {
+		actx, cancel := context.WithTimeout(ctx, t)
+		defer cancel()
+		ctx = actx
+	}
+	return c.doOnce(ctx, method, path, in, out)
+}
+
+// doOnce is a single JSON round-trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -263,6 +293,7 @@ func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
 // of records consumed from the start of the stream, which doubles as the
 // resume point for a later call.
 func (c *Client) StreamJobResults(ctx context.Context, id string, cursor int, fn func(SweepRecord) error) (int, error) {
+	budget := c.policy.normalized().MaxAttempts - 1
 	attempts := 0
 	for {
 		n, err := c.streamOnce(ctx, id, cursor, fn)
@@ -279,19 +310,18 @@ func (c *Client) StreamJobResults(ctx context.Context, id string, cursor int, fn
 		if errors.As(err, &cbErr) {
 			return cursor, cbErr.err
 		}
-		var apiErr *APIError
-		var streamErr *StreamError
-		if errors.As(err, &apiErr) || errors.As(err, &streamErr) {
-			return cursor, err // the server answered; retrying cannot help
+		// Definitive server answers (4xx, terminal stream error records) are
+		// not retryable; transport faults and 5xx are, under the policy's
+		// jittered backoff, until the budget runs dry without progress.
+		if !Retryable(err) {
+			return cursor, err
 		}
-		if attempts++; attempts > c.retries {
+		if attempts++; attempts > budget {
 			return cursor, fmt.Errorf("client: stream of job %s lost at cursor %d after %d reconnects: %w",
-				id, cursor, c.retries, err)
+				id, cursor, budget, err)
 		}
-		select {
-		case <-time.After(Jitter(c.backoff)):
-		case <-ctx.Done():
-			return cursor, ctx.Err()
+		if serr := sleepCtx(ctx, c.policy.Backoff(attempts-1)); serr != nil {
+			return cursor, serr
 		}
 	}
 }

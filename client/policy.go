@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Policy is the client's unified retry discipline: capped exponential
+// backoff with full jitter, an optional per-attempt timeout, and overall
+// context-deadline propagation. One policy drives every retry loop in the
+// stack — the client's idempotent calls, StreamJobResults reconnects, and
+// the dtmb-worker's register/submit loops — so backoff behavior is tuned in
+// one place instead of ad hoc at each call site.
+//
+// The zero value means defaults (4 attempts, 500ms base, 10s cap, no
+// per-attempt timeout).
+type Policy struct {
+	// MaxAttempts bounds total tries per operation (first attempt included);
+	// 0 means 4. For streams it bounds reconnects per silent period:
+	// MaxAttempts-1 resumption attempts, refilled on progress.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling; 0 means 500ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 10s.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt with its own context
+	// deadline (the overall ctx still governs the whole operation). 0 means
+	// no per-attempt bound — appropriate for calls that legitimately compute
+	// for a long time server-side. An expired attempt is retryable as long
+	// as the parent context is still live.
+	AttemptTimeout time.Duration
+}
+
+// DefaultPolicy returns the stock policy New installs.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseBackoff: 500 * time.Millisecond, MaxBackoff: 10 * time.Second}
+}
+
+// normalized fills zero fields with defaults.
+func (p Policy) normalized() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// Backoff returns the sleep before retry number attempt (0-based): a
+// full-jitter draw uniform over [0, min(MaxBackoff, BaseBackoff<<attempt)).
+// Full jitter beats fixed or half-jittered schedules at decorrelating a
+// fleet that all lost the same server — retries spread across the whole
+// window instead of clustering around multiples of the base.
+func (p Policy) Backoff(attempt int) time.Duration {
+	p = p.normalized()
+	ceil := p.BaseBackoff
+	for i := 0; i < attempt && ceil < p.MaxBackoff; i++ {
+		ceil *= 2
+	}
+	if ceil > p.MaxBackoff {
+		ceil = p.MaxBackoff
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return rand.N(ceil)
+}
+
+// Retryable classifies an error for retry purposes. Transport-level faults
+// (resets, refused connections, timeouts set by the transport) and
+// server-side 5xx/429 answers are retryable; every other definitive server
+// answer (4xx), a stream's terminal error record, a callback abort, and
+// context cancellation are not — retrying cannot change those outcomes.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	var streamErr *StreamError
+	if errors.As(err, &streamErr) {
+		return false
+	}
+	var cbErr *callbackError
+	if errors.As(err, &cbErr) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-level: connection reset, refused, truncated body, DNS
+}
+
+// Do runs op under the policy: up to MaxAttempts tries, jittered backoff
+// between them, each attempt bounded by AttemptTimeout when set. The parent
+// ctx governs the whole operation — its cancellation stops both attempts
+// and backoff sleeps immediately. Returns the last attempt's error.
+func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
+	p = p.normalized()
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if serr := sleepCtx(ctx, p.Backoff(attempt-1)); serr != nil {
+				return err // parent cancelled mid-backoff; last error stands
+			}
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = op(attemptCtx)
+		// Read the attempt context's verdict before cancel() overwrites it:
+		// an attempt that hit its own deadline is retryable, the same error
+		// from the parent deadline is not.
+		attemptExpired := err != nil && attemptCtx != ctx && errors.Is(attemptCtx.Err(), context.DeadlineExceeded)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !attemptExpired && !Retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// defaultTransport is the client's stock transport: http.DefaultTransport's
+// pooling behavior plus explicit limits, so a dead or wedged server surfaces
+// as an error instead of a goroutine parked forever. ResponseHeaderTimeout
+// is deliberately generous — synchronous endpoints may legitimately compute
+// for minutes before their first byte — but finite, because the alternative
+// (the old bare &http.Client{}) hung every CLI against a stalled server
+// until process kill. Streaming endpoints send headers immediately, so the
+// limit never fires on a healthy stream. Callers needing a stricter bound
+// use Policy.AttemptTimeout or a ctx deadline, both honored on every path.
+func defaultTransport() *http.Transport {
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          100,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: 1 * time.Second,
+		ResponseHeaderTimeout: 5 * time.Minute,
+	}
+}

@@ -1,0 +1,165 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmfb/client"
+)
+
+// TestPolicyBackoffBounds pins the full-jitter contract: every draw for
+// retry n lies in [0, min(MaxBackoff, BaseBackoff<<n)).
+func TestPolicyBackoffBounds(t *testing.T) {
+	p := client.Policy{MaxAttempts: 5, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}
+	ceilings := map[int]time.Duration{
+		0: 100 * time.Millisecond,
+		1: 200 * time.Millisecond,
+		2: 400 * time.Millisecond,
+		7: 400 * time.Millisecond, // capped
+	}
+	for attempt, ceil := range ceilings {
+		for i := 0; i < 300; i++ {
+			if d := p.Backoff(attempt); d < 0 || d >= ceil {
+				t.Fatalf("Backoff(%d) = %v outside [0, %v)", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+func TestPolicyRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"503", &client.APIError{StatusCode: http.StatusServiceUnavailable}, true},
+		{"429", &client.APIError{StatusCode: http.StatusTooManyRequests}, true},
+		{"404", &client.APIError{StatusCode: http.StatusNotFound}, false},
+		{"400", &client.APIError{StatusCode: http.StatusBadRequest}, false},
+		{"wrapped 500", fmt.Errorf("op: %w", &client.APIError{StatusCode: 500}), true},
+		{"stream error", &client.StreamError{Message: "boom"}, false},
+		{"canceled", context.Canceled, false},
+		{"wrapped deadline", fmt.Errorf("op: %w", context.DeadlineExceeded), false},
+		{"transport", errors.New("connection reset by peer"), true},
+	}
+	for _, tc := range cases {
+		if got := client.Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyDoAttemptAccounting(t *testing.T) {
+	p := client.Policy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+
+	// Transient failures are retried until one attempt succeeds.
+	var calls atomic.Int32
+	err := p.Do(context.Background(), func(context.Context) error {
+		if calls.Add(1) < 3 {
+			return errors.New("transient transport fault")
+		}
+		return nil
+	})
+	if err != nil || calls.Load() != 3 {
+		t.Fatalf("transient: err=%v after %d calls, want success on call 3", err, calls.Load())
+	}
+
+	// A definitive server answer is terminal on the first attempt.
+	calls.Store(0)
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls.Add(1)
+		return &client.APIError{StatusCode: http.StatusNotFound}
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || calls.Load() != 1 {
+		t.Fatalf("4xx: err=%v after %d calls, want one attempt", err, calls.Load())
+	}
+
+	// Exhaustion returns the last error after exactly MaxAttempts tries.
+	calls.Store(0)
+	err = p.Do(context.Background(), func(context.Context) error {
+		calls.Add(1)
+		return errors.New("still down")
+	})
+	if err == nil || calls.Load() != 4 {
+		t.Fatalf("exhaustion: err=%v after %d calls, want 4 attempts", err, calls.Load())
+	}
+}
+
+// TestPolicyDoAttemptTimeout distinguishes the two deadline flavors: an
+// attempt that burns its own AttemptTimeout is retried, while the parent
+// context's deadline ends the operation outright.
+func TestPolicyDoAttemptTimeout(t *testing.T) {
+	p := client.Policy{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+		AttemptTimeout: 20 * time.Millisecond,
+	}
+	var calls atomic.Int32
+	stall := func(actx context.Context) error {
+		calls.Add(1)
+		<-actx.Done()
+		return actx.Err()
+	}
+	err := p.Do(context.Background(), stall)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled op: err = %v, want deadline exceeded", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("per-attempt expiry must be retryable: got %d attempts, want 3", calls.Load())
+	}
+
+	calls.Store(0)
+	pctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err = client.Policy{MaxAttempts: 10, BaseBackoff: time.Millisecond}.Do(pctx, stall)
+	if !errors.Is(err, context.DeadlineExceeded) || calls.Load() != 1 {
+		t.Fatalf("parent deadline: err=%v after %d attempts, want terminal first attempt", err, calls.Load())
+	}
+}
+
+// TestClientStalledServerFailsFast is the regression test for the bare
+// &http.Client{} era, when a server that accepted connections but never
+// answered wedged every CLI forever. Both escape hatches must work: a
+// per-attempt timeout in the policy, and a plain context deadline with the
+// stock policy.
+func TestClientStalledServerFailsFast(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(stall)
+
+	cli := client.New(srv.URL, client.WithPolicy(client.Policy{
+		MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond,
+	}))
+	start := time.Now()
+	if err := cli.Ready(context.Background()); err == nil {
+		t.Fatal("stalled server reported ready")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stalled call under AttemptTimeout took %v, want prompt failure", el)
+	}
+
+	cli2 := client.New(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if err := cli2.Ready(ctx); err == nil {
+		t.Fatal("stalled server reported ready under a context deadline")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline-bound call took %v, want prompt failure", el)
+	}
+}

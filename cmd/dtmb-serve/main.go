@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"dmfb/internal/dispatch"
+	"dmfb/internal/faultinject"
 	"dmfb/internal/service"
 	"dmfb/internal/telemetry"
 )
@@ -69,6 +70,9 @@ func main() {
 		dispatchOn    = flag.Bool("dispatch", false, "enable distributed sweep dispatch: serve /v2/workers/* and accept jobs with \"distributed\": true")
 		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live without a heartbeat before redispatch (with -dispatch)")
 		shardSize     = flag.Int("shard-size", 0, "grid points per dispatched shard (0 = 64; with -dispatch)")
+		maxDispatches = flag.Int("max-shard-dispatches", 0, "dispatch budget per shard before the job is failed as poisoned (0 = 5; with -dispatch)")
+		chaosStore    = flag.String("chaos-store", "", "fault-injection schedule for the durable job store, e.g. 'store.append.fsync=0.1,store.append.write=#3' (testing only)")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "seed for the -chaos-store schedule's deterministic PRNGs")
 		grace         = flag.Duration("grace", 15*time.Second, "graceful-shutdown drain timeout (requests and running jobs)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds per-chunk kernel spans)")
 		pprofAddr     = flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it private, e.g. localhost:6060")
@@ -81,6 +85,15 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	storeInject, err := faultinject.ParseSpec(*chaosStore, *chaosSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-serve:", err)
+		os.Exit(2)
+	}
+	if storeInject != nil {
+		logger.Warn("store fault injection armed", slog.String("schedule", storeInject.String()))
+	}
 
 	// pprof lives on its own listener, never the API address: profiling
 	// endpoints expose internals and must be bindable to localhost only.
@@ -112,17 +125,18 @@ func main() {
 			MaxConcurrent: *maxConcurrent,
 			Registry:      registry,
 		},
-		Jobs:     service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20},
+		Jobs:     service.JobStoreConfig{MaxJobs: *maxJobs, MaxResultBytes: int64(*maxResultMB) << 20, Inject: storeInject},
 		StoreDir: *storeDir,
 		Logger:   logger,
 	}
 	var coord *dispatch.Coordinator
 	if *dispatchOn {
 		coord = dispatch.NewCoordinator(dispatch.Config{
-			LeaseTTL:  *leaseTTL,
-			ShardSize: *shardSize,
-			Registry:  registry,
-			Logger:    logger,
+			LeaseTTL:           *leaseTTL,
+			ShardSize:          *shardSize,
+			MaxShardDispatches: *maxDispatches,
+			Registry:           registry,
+			Logger:             logger,
 		})
 		defer coord.Close()
 		cfg.Jobs.Runner = coord

@@ -18,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dmfb/client"
 	"dmfb/internal/dispatch"
+	"dmfb/internal/faultinject"
 	"dmfb/internal/service"
 )
 
@@ -50,6 +53,8 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "simulations admitted at once (0 = 2)")
 		poll          = flag.Duration("poll", 500*time.Millisecond, "base backoff between lease attempts when idle (jittered)")
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+		chaos         = flag.String("chaos", "", "fault-injection schedule for the worker loop and its coordinator transport, e.g. 'worker.crash=0.3,transport.5xx=0.05' (testing only)")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "seed for the -chaos schedule's deterministic PRNGs")
 	)
 	flag.Parse()
 
@@ -64,9 +69,12 @@ func main() {
 		label, _ = os.Hostname()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	err = dispatch.RunWorker(ctx, dispatch.WorkerConfig{
+	inject, err := faultinject.ParseSpec(*chaos, *chaosSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dtmb-worker:", err)
+		os.Exit(2)
+	}
+	cfg := dispatch.WorkerConfig{
 		Coordinator: *coordinator,
 		Name:        label,
 		Engine: service.EngineConfig{
@@ -77,7 +85,20 @@ func main() {
 		},
 		Poll:   *poll,
 		Logger: logger,
-	})
+		Inject: inject,
+	}
+	if inject != nil {
+		// One schedule arms both seams: worker.* points fire in the shard
+		// loop, transport.* points in the coordinator client's round trips.
+		logger.Warn("chaos schedule armed", slog.String("schedule", inject.String()))
+		cfg.ClientOptions = []client.Option{client.WithHTTPClient(&http.Client{
+			Transport: &faultinject.Transport{Inject: inject},
+		})}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = dispatch.RunWorker(ctx, cfg)
 	if err != nil && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "dtmb-worker:", err)
 		os.Exit(1)

@@ -35,6 +35,12 @@ type Config struct {
 	LeaseTTL time.Duration
 	// ShardSize is the number of grid points per shard; 0 means 64.
 	ShardSize int
+	// MaxShardDispatches bounds how many times one shard may be dispatched
+	// (first lease included) before it is declared poisoned and its job
+	// failed with service.ErrPoisonShard; 0 means 5. Without the bound, a
+	// shard that crashes every worker that leases it would be redispatched
+	// forever, burning the fleet on one unit of work.
+	MaxShardDispatches int
 	// Registry receives the dispatch series (shard counters, active-worker
 	// gauge, shard duration histogram); nil leaves them unregistered.
 	Registry *telemetry.Registry
@@ -48,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShardSize <= 0 {
 		c.ShardSize = 64
+	}
+	if c.MaxShardDispatches <= 0 {
+		c.MaxShardDispatches = 5
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -79,6 +88,7 @@ type shard struct {
 	state      shardState
 	leaseID    string // current lease while shardLeased
 	leasedAt   time.Time
+	dispatches int                   // lease grants, for the poison budget
 	records    []service.SweepRecord // buffered results until merged
 }
 
@@ -91,7 +101,8 @@ type jobRun struct {
 	chunkSize int
 	shards    []*shard
 	nextEmit  int           // first shard not yet merged
-	ready     chan struct{} // 1-buffered doorbell: a mergeable shard exists
+	ready     chan struct{} // 1-buffered doorbell: a mergeable shard exists or the job failed
+	failed    error         // terminal quarantine diagnosis; stops leasing and RunJob
 }
 
 // lease is one outstanding shard lease.
@@ -123,10 +134,12 @@ type Coordinator struct {
 	seq      int // worker and lease ID sequence
 	closed   bool
 
-	shardsLeased    atomic.Uint64
-	shardsCompleted atomic.Uint64
-	shardsExpired   atomic.Uint64
-	shardDuration   *telemetry.Histogram
+	shardsLeased      atomic.Uint64
+	shardsCompleted   atomic.Uint64
+	shardsExpired     atomic.Uint64
+	shardsQuarantined atomic.Uint64
+	retries           atomic.Uint64
+	shardDuration     *telemetry.Histogram
 
 	stopJanitor chan struct{}
 	janitorDone chan struct{}
@@ -158,6 +171,12 @@ func NewCoordinator(cfg Config) *Coordinator {
 	r.CounterFunc("dmfb_dispatch_shards_expired_total",
 		"Shard leases reclaimed after missed heartbeats.",
 		func() float64 { return float64(c.shardsExpired.Load()) })
+	r.CounterFunc("dmfb_shards_quarantined_total",
+		"Shards that exhausted their dispatch budget and failed their job as poisoned.",
+		func() float64 { return float64(c.shardsQuarantined.Load()) })
+	r.CounterFunc("dmfb_retries_total",
+		"Shard redispatches: every lease grant of a shard past its first.",
+		func() float64 { return float64(c.retries.Load()) })
 	r.GaugeFunc("dmfb_workers_active",
 		"Registered workers seen within the liveness window.",
 		func() float64 { return float64(c.Stats().WorkersActive) })
@@ -273,7 +292,14 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, plan *service.Sw
 			jr.nextEmit++
 		}
 		finished := jr.nextEmit == len(jr.shards)
+		failed := jr.failed
 		c.mu.Unlock()
+		if failed != nil {
+			// A shard was quarantined: the job cannot complete. Records
+			// already merged stay durable (they are correct); the terminal
+			// diagnosis is the typed poison error.
+			return failed
+		}
 		for _, recs := range batches {
 			for _, rec := range recs {
 				if err := emit(rec); err != nil {
@@ -343,11 +369,32 @@ func (c *Coordinator) nextLease(workerID string) *service.ShardLease {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(workerID)
+jobLoop:
 	for _, jid := range c.jobOrder {
 		jr := c.jobs[jid]
+		if jr.failed != nil {
+			continue // quarantined job: stop feeding it to workers
+		}
 		for _, sh := range jr.shards {
 			if sh.state != shardPending {
 				continue
+			}
+			if sh.dispatches >= c.cfg.MaxShardDispatches {
+				// The shard burned its whole dispatch budget — every worker
+				// that leased it crashed, stalled, or submitted garbage.
+				// Quarantine: fail the job with a typed diagnosis instead of
+				// redispatching forever.
+				jr.failed = fmt.Errorf("%w: shard %d (points [%d,%d)) failed %d dispatches",
+					service.ErrPoisonShard, sh.index, sh.start, sh.end, sh.dispatches)
+				c.shardsQuarantined.Add(1)
+				c.cfg.Logger.Error("shard quarantined",
+					slog.String("job", jid), slog.Int("shard", sh.index),
+					slog.Int("dispatches", sh.dispatches))
+				select {
+				case jr.ready <- struct{}{}:
+				default:
+				}
+				continue jobLoop // the job is failing; try the next job's shards
 			}
 			c.seq++
 			id := fmt.Sprintf("lease-%d", c.seq)
@@ -355,6 +402,10 @@ func (c *Coordinator) nextLease(workerID string) *service.ShardLease {
 			sh.state = shardLeased
 			sh.leaseID = id
 			sh.leasedAt = now
+			sh.dispatches++
+			if sh.dispatches > 1 {
+				c.retries.Add(1)
+			}
 			c.leases[id] = &lease{
 				id: id, jobID: jid, shardIdx: sh.index,
 				workerID: workerID, expires: now.Add(c.cfg.LeaseTTL),
@@ -393,10 +444,12 @@ func (c *Coordinator) heartbeat(workerID, leaseID string) error {
 	return nil
 }
 
-// submit accepts a completed shard's records. Acceptance is idempotent and
+// submit accepts a completed shard's records. Acceptance is first-wins and
 // independent of lease validity: the kernel is deterministic, so a late
 // submission from an expired lease carries exactly the records a redispatch
-// would produce — first complete submission wins, duplicates are no-ops.
+// would produce. The loser of the race gets errGone (410) — its records are
+// fully discarded, never merged alongside the winner's — which workers treat
+// as benign (the shard is finished either way).
 func (c *Coordinator) submit(req service.ShardResultRequest) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -410,7 +463,8 @@ func (c *Coordinator) submit(req service.ShardResultRequest) error {
 	}
 	sh := jr.shards[req.Shard]
 	if sh.state == shardDone {
-		return nil // twin already completed it
+		return fmt.Errorf("%w: shard %d of %s already completed by a twin; submission discarded",
+			errGone, req.Shard, req.JobID)
 	}
 	if got, want := len(req.Records), sh.end-sh.start; got != want {
 		return fmt.Errorf("dispatch: shard %d of %s wants %d records, got %d", req.Shard, req.JobID, want, got)
@@ -458,10 +512,12 @@ func (c *Coordinator) Stats() service.DispatchStats {
 	}
 	c.mu.Unlock()
 	return service.DispatchStats{
-		ShardsLeased:    c.shardsLeased.Load(),
-		ShardsCompleted: c.shardsCompleted.Load(),
-		ShardsExpired:   c.shardsExpired.Load(),
-		WorkersActive:   active,
+		ShardsLeased:      c.shardsLeased.Load(),
+		ShardsCompleted:   c.shardsCompleted.Load(),
+		ShardsExpired:     c.shardsExpired.Load(),
+		ShardsQuarantined: c.shardsQuarantined.Load(),
+		Retries:           c.retries.Load(),
+		WorkersActive:     active,
 	}
 }
 

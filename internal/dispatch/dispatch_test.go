@@ -331,13 +331,15 @@ func TestSubmitValidationAndIdempotency(t *testing.T) {
 	if err := coord.submit(sub); err == nil || !strings.Contains(err.Error(), "index") {
 		t.Fatalf("misindexed submission: %v", err)
 	}
-	// The real submission is accepted; a duplicate is a silent no-op.
+	// The real submission is accepted; a duplicate loses the first-wins race
+	// and is told so with errGone (410) — its records are discarded, never
+	// merged a second time.
 	sub.Records = records
 	if err := coord.submit(sub); err != nil {
 		t.Fatalf("valid submission: %v", err)
 	}
-	if err := coord.submit(sub); err != nil {
-		t.Fatalf("duplicate submission: %v", err)
+	if err := coord.submit(sub); !errors.Is(err, errGone) {
+		t.Fatalf("duplicate submission: err = %v, want errGone", err)
 	}
 	if got := coord.Stats().ShardsCompleted; got != 1 {
 		t.Errorf("ShardsCompleted = %d, want 1", got)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dmfb/client"
+	"dmfb/internal/faultinject"
 	"dmfb/internal/service"
 )
 
@@ -28,6 +29,13 @@ type WorkerConfig struct {
 	Poll time.Duration
 	// Logger receives worker lifecycle events; nil discards them.
 	Logger *slog.Logger
+	// Inject supplies a chaos fault schedule for the worker loop (crash
+	// mid-shard, slow shard, duplicate or corrupted submission). nil — the
+	// default and the production setting — disables injection entirely.
+	Inject *faultinject.Injector
+	// ClientOptions are appended to the coordinator client's construction —
+	// chaos tests thread a fault-injecting transport through here.
+	ClientOptions []client.Option
 }
 
 // RunWorker runs the worker loop until ctx is cancelled: wait for the
@@ -46,7 +54,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
-	cli := client.New(cfg.Coordinator)
+	// One policy governs every retried call in the worker: lease-paced
+	// backoff base, a bounded attempt count, and a per-attempt timeout so a
+	// stalled coordinator never wedges the loop (all worker calls are fast
+	// control-plane exchanges; shard evaluation happens locally).
+	policy := client.Policy{
+		MaxAttempts:    4,
+		BaseBackoff:    poll,
+		MaxBackoff:     8 * poll,
+		AttemptTimeout: 30 * time.Second,
+	}
+	opts := append([]client.Option{client.WithPolicy(policy)}, cfg.ClientOptions...)
+	cli := client.New(cfg.Coordinator, opts...)
 	engine := service.NewEngine(cfg.Engine)
 
 	// Readiness gate: a coordinator replaying its durable store answers 503
@@ -63,7 +82,15 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			return err
 		}
 	}
-	reg, err := cli.RegisterWorker(ctx, client.WorkerRegisterRequest{Name: cfg.Name})
+	// Registration is idempotent from the worker's point of view (a retried
+	// registration just burns an ID), so drive it under the policy rather
+	// than dying on the first transient fault of a freshly-started fleet.
+	var reg client.WorkerRegisterResponse
+	err := policy.Do(ctx, func(actx context.Context) error {
+		var rerr error
+		reg, rerr = cli.RegisterWorker(actx, client.WorkerRegisterRequest{Name: cfg.Name})
+		return rerr
+	})
 	if err != nil {
 		return fmt.Errorf("dispatch: register worker: %w", err)
 	}
@@ -94,7 +121,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			continue
 		}
-		if err := evalLease(ctx, cli, engine, plans, reg.WorkerID, lease, poll, logger); err != nil {
+		if err := evalLease(ctx, cli, engine, plans, reg.WorkerID, lease, policy, cfg.Inject, logger); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -112,7 +139,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // expired and the shard belongs to someone else, so burning more CPU on it
 // helps nobody (its submission would still be accepted, but a live twin is
 // already on it).
-func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, plans map[string]*service.SweepPlan, workerID string, lease *client.ShardLease, poll time.Duration, logger *slog.Logger) error {
+func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, plans map[string]*service.SweepPlan, workerID string, lease *client.ShardLease, policy client.Policy, inject *faultinject.Injector, logger *slog.Logger) error {
 	plan, ok := plans[lease.JobID]
 	if !ok {
 		p, err := engine.PlanSweep(lease.Request)
@@ -160,6 +187,19 @@ func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, 
 		}
 	}()
 
+	// Chaos seams. Slow: stall the shard (heartbeats keep it alive unless the
+	// stall outlives the TTL budget the test armed). Crash: abandon the shard
+	// without submitting — the in-process analog of kill -9 mid-shard; the
+	// lease expires and the coordinator redispatches.
+	if d := inject.Eval(faultinject.WorkerSlow); d.Fire && d.Delay > 0 {
+		if err := sleepCtx(shardCtx, d.Delay); err != nil {
+			return err
+		}
+	}
+	if d := inject.Eval(faultinject.WorkerCrash); d.Fire {
+		return d.Err
+	}
+
 	records := make([]service.SweepRecord, 0, lease.End-lease.Start)
 	evalErr := engine.RunSweepRange(shardCtx, plan, lease.Start, lease.End, func(rec service.SweepRecord) error {
 		// Cache provenance is worker-local state; the coordinator normalizes
@@ -174,9 +214,6 @@ func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, 
 		return evalErr
 	}
 
-	// Submission survives transient transport faults (it is idempotent
-	// server-side); a definitive server answer — 410 job gone, 400 malformed —
-	// ends the attempt.
 	sub := client.ShardResultRequest{
 		WorkerID: workerID,
 		LeaseID:  lease.LeaseID,
@@ -184,19 +221,44 @@ func evalLease(ctx context.Context, cli *client.Client, engine *service.Engine, 
 		Shard:    lease.Shard,
 		Records:  records,
 	}
-	for attempt := 0; ; attempt++ {
-		err := cli.SubmitShard(ctx, sub)
-		if err == nil {
-			return nil
-		}
-		var apiErr *client.APIError
-		if errors.As(err, &apiErr) || attempt >= 3 {
-			return fmt.Errorf("submit shard %d of %s: %w", lease.Shard, lease.JobID, err)
-		}
-		if err := sleepCtx(ctx, client.Jitter(poll)); err != nil {
-			return err
+	if d := inject.Eval(faultinject.WorkerCorruptSubmit); d.Fire && len(sub.Records) > 0 {
+		// Structural corruption: clone the records, then misindex one and
+		// drop another. The coordinator's validation must reject this outright
+		// (never merge it) and leave the shard for redispatch.
+		corrupted := append([]service.SweepRecord(nil), sub.Records...)
+		corrupted[0].Index += 1000000
+		sub.Records = corrupted[:len(corrupted)-1]
+	}
+	if err := submitShard(ctx, cli, policy, sub, logger); err != nil {
+		return fmt.Errorf("submit shard %d of %s: %w", lease.Shard, lease.JobID, err)
+	}
+	if d := inject.Eval(faultinject.WorkerDuplicateSubmit); d.Fire {
+		// Deliberate duplicate: the coordinator must answer 410 (first-wins)
+		// and the worker must shrug it off. submitShard treats 410 as benign,
+		// so an error here would itself be a found bug.
+		if err := submitShard(ctx, cli, policy, sub, logger); err != nil {
+			return fmt.Errorf("duplicate submit of shard %d of %s surfaced: %w", lease.Shard, lease.JobID, err)
 		}
 	}
+	return nil
+}
+
+// submitShard delivers one shard's records under the retry policy.
+// Transport faults and 5xx are retried (submission is first-wins idempotent
+// server-side); a 410 means a twin already completed the shard — this
+// worker's copy was discarded, which is success from the job's point of
+// view; any other definitive answer (400 malformed) is a real error.
+func submitShard(ctx context.Context, cli *client.Client, policy client.Policy, sub client.ShardResultRequest, logger *slog.Logger) error {
+	err := policy.Do(ctx, func(actx context.Context) error {
+		return cli.SubmitShard(actx, sub)
+	})
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusGone {
+		logger.Info("shard already completed by a twin; submission discarded",
+			slog.String("job", sub.JobID), slog.Int("shard", sub.Shard))
+		return nil
+	}
+	return err
 }
 
 // sleepCtx sleeps for d or until ctx is cancelled.

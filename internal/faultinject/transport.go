@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects transport-level faults —
+// connection resets, latency, synthetic 5xx responses, truncated bodies —
+// in front of a real transport. With a nil Inject it is a pass-through.
+//
+// Points consulted per round trip, in order:
+//
+//	transport.latency   sleep Decision.Delay before sending
+//	transport.reset     fail before sending, like a reset/refused connection
+//	transport.5xx       drop the real response, return a synthetic 503
+//	transport.truncate  wrap the response body to error out mid-read
+type Transport struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Inject supplies the fault schedule; nil disables all faults.
+	Inject *Injector
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if d := t.Inject.Eval(TransportLatency); d.Fire && d.Delay > 0 {
+		timer := time.NewTimer(d.Delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if d := t.Inject.Eval(TransportReset); d.Fire {
+		// Consume the body as a real failed send would, so the connection
+		// pool and retry logic see a request that cannot be replayed blindly.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, d.Err
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d := t.Inject.Eval(Transport5xx); d.Fire {
+		resp.Body.Close()
+		body := `{"error":"injected upstream failure"}`
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         resp.Proto,
+			ProtoMajor:    resp.ProtoMajor,
+			ProtoMinor:    resp.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	if d := t.Inject.Eval(TransportTruncate); d.Fire {
+		resp.Body = &truncatedBody{rc: resp.Body, remain: 16, err: d.Err}
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+// truncatedBody passes through a bounded prefix of the response body, then
+// fails the read — what a connection dropped mid-response looks like to the
+// client's decoder.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+	err    error
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, b.err
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		return n, io.EOF // shorter real body than the cut; pass EOF through
+	}
+	if err == nil && b.remain <= 0 {
+		err = b.err
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

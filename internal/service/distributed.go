@@ -1,6 +1,17 @@
 package service
 
-import "context"
+import (
+	"context"
+	"errors"
+)
+
+// ErrPoisonShard tags a distributed job that was terminated because one of
+// its shards exhausted its dispatch budget: every worker that leased the
+// shard crashed, stalled past its lease, or submitted garbage. Rather than
+// redispatch the shard forever — burning the whole fleet on one poisoned
+// unit of work — the coordinator quarantines it and fails the job with this
+// typed, persisted diagnosis (JobStatus.Reason == "poison_shard").
+var ErrPoisonShard = errors.New("shard quarantined: dispatch budget exhausted")
 
 // DistributedRunner executes one sweep job across remote workers. The job
 // store calls RunJob instead of the local engine when a job opted into
@@ -32,6 +43,12 @@ type DispatchStats struct {
 	ShardsCompleted uint64
 	// ShardsExpired counts leases reclaimed after missed heartbeats.
 	ShardsExpired uint64
+	// ShardsQuarantined counts shards that exhausted their dispatch budget
+	// and terminated their job with ErrPoisonShard.
+	ShardsQuarantined uint64
+	// Retries counts shard redispatches: every lease grant of a shard past
+	// its first (expiry reclaims and rejected submissions both cause these).
+	Retries uint64
 	// WorkersActive counts workers seen within the liveness window.
 	WorkersActive int
 }

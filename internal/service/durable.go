@@ -2,9 +2,12 @@ package service
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -13,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"dmfb/internal/faultinject"
 )
 
 // jobManifest is the durable snapshot of one job's identity and lifecycle,
@@ -24,10 +29,19 @@ type jobManifest struct {
 	ID          string       `json:"id"`
 	State       JobState     `json:"state"`
 	Error       string       `json:"error,omitempty"`
+	Reason      string       `json:"reason,omitempty"`
 	TotalPoints int          `json:"total_points"`
 	CreatedAt   time.Time    `json:"created_at"`
 	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
 	Request     SweepRequest `json:"request"`
+	// ResultRecords and ResultsCRC seal a terminal job's result log: the
+	// number of committed records and the rolling CRC32C over their payloads,
+	// filled in by the file persister at the terminal manifest save. Replay
+	// re-derives both from the log; a mismatch on a completed job means the
+	// log was corrupted or truncated after the fact, and the job is demoted
+	// to failed/storage instead of served with silently wrong bytes.
+	ResultRecords int    `json:"result_records,omitempty"`
+	ResultsCRC    string `json:"results_crc,omitempty"`
 }
 
 // persistedJob is one job recovered from disk: its manifest plus every
@@ -80,13 +94,23 @@ func (nullPersister) close()                            {}
 // manifest.json (atomically replaced via rename) and results.ndjson
 // (append-only, fsync per record). Byte accounting is maintained
 // incrementally so the dmfb_job_store_disk_bytes gauge is O(1) to scrape.
+//
+// Each result-log line carries a CRC32C of its payload ("crc8hex payload\n")
+// and the persister keeps a rolling CRC chain plus record count per job,
+// sealed into the manifest at the terminal save. The checksums live only on
+// disk: callers hand in and get back pure JSON payloads, so the bytes served
+// to streams are exactly the bytes the evaluation emitted.
 type filePersister struct {
-	dir string
+	dir    string
+	inject *faultinject.Injector // fault schedule; nil disables chaos
 
 	mu           sync.Mutex
 	files        map[string]*os.File // open result logs of running jobs
 	sizes        map[string]int64    // manifest + result bytes per job
 	manifestSize map[string]int64    // manifest share of sizes, for rewrites
+	logSize      map[string]int64    // committed result-log bytes, for torn-write rollback
+	crcs         map[string]uint32   // rolling CRC32C chain over committed payloads
+	counts       map[string]int      // committed record count per job
 	crashed      bool                // test hook: simulate SIGKILL (drop all writes)
 }
 
@@ -101,18 +125,62 @@ func newFilePersister(dir string) (*filePersister, error) {
 		files:        make(map[string]*os.File),
 		sizes:        make(map[string]int64),
 		manifestSize: make(map[string]int64),
+		logSize:      make(map[string]int64),
+		crcs:         make(map[string]uint32),
+		counts:       make(map[string]int),
 	}, nil
+}
+
+// crcTable is the Castagnoli polynomial used for result-log checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRCLen is the per-line overhead: 8 hex chars + one space.
+const recordCRCLen = 9
+
+// encodeRecordLine prefixes a payload with its CRC32C for the on-disk log.
+func encodeRecordLine(payload []byte) []byte {
+	out := make([]byte, 0, recordCRCLen+len(payload))
+	out = fmt.Appendf(out, "%08x ", crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// decodeRecordLine splits a disk line into its verified payload. The payload
+// keeps its trailing newline. Returns false when the prefix is malformed or
+// the checksum does not match.
+func decodeRecordLine(line []byte) (payload []byte, ok bool) {
+	if len(line) <= recordCRCLen || line[recordCRCLen-1] != ' ' {
+		return nil, false
+	}
+	var sum [4]byte
+	if _, err := hex.Decode(sum[:], line[:8]); err != nil {
+		return nil, false
+	}
+	payload = line[recordCRCLen:]
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, false
+	}
+	return payload, true
 }
 
 func (p *filePersister) jobDir(id string) string { return filepath.Join(p.dir, id) }
 
 // saveManifest writes the manifest via tmp-file + fsync + rename, so a
-// crash leaves either the old or the new manifest, never a torn one.
+// crash leaves either the old or the new manifest, never a torn one. At a
+// terminal save it seals the result log: record count and rolling CRC go
+// into the manifest so replay can prove the log complete and uncorrupted.
 func (p *filePersister) saveManifest(m jobManifest) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.crashed {
 		return nil
+	}
+	if d := p.inject.Eval(faultinject.StoreManifestWrite); d.Fire {
+		return d.Err
+	}
+	if m.State.terminal() {
+		m.ResultRecords = p.counts[m.ID]
+		m.ResultsCRC = fmt.Sprintf("%08x", p.crcs[m.ID])
 	}
 	dir := p.jobDir(m.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -150,13 +218,20 @@ func (p *filePersister) saveManifest(m jobManifest) error {
 	return nil
 }
 
-// appendResult appends one line to the job's result log and fsyncs before
-// returning — the commit point that makes a record durable.
+// appendResult appends one CRC-prefixed line to the job's result log and
+// fsyncs before returning — the commit point that makes a record durable.
+// On any failure past the first byte the log is rolled back to its last
+// committed length, so a failed append never leaves a half-record that a
+// reader could mistake for progress (a torn tail from a genuine crash is
+// instead caught by the newline/CRC scan on replay).
 func (p *filePersister) appendResult(id string, line []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.crashed {
 		return nil
+	}
+	if d := p.inject.Eval(faultinject.StoreAppendENOSPC); d.Fire {
+		return fmt.Errorf("%w: no space left on device", d.Err)
 	}
 	f, ok := p.files[id]
 	if !ok {
@@ -167,14 +242,34 @@ func (p *filePersister) appendResult(id string, line []byte) error {
 			return err
 		}
 		p.files[id] = f
+		if off, err := f.Seek(0, io.SeekEnd); err == nil {
+			p.logSize[id] = off
+		}
 	}
-	if _, err := f.Write(line); err != nil {
+	disk := encodeRecordLine(line)
+	if d := p.inject.Eval(faultinject.StoreAppendWrite); d.Fire {
+		// Torn write: a prefix of the record reaches the disk, then the
+		// write errors. Deliberately not rolled back — this is the injected
+		// analog of a crash mid-write, which replay must truncate away.
+		_, _ = f.Write(disk[:len(disk)/2])
+		return d.Err
+	}
+	if _, err := f.Write(disk); err != nil {
+		_ = f.Truncate(p.logSize[id])
 		return err
+	}
+	if d := p.inject.Eval(faultinject.StoreAppendFsync); d.Fire {
+		_ = f.Truncate(p.logSize[id])
+		return d.Err
 	}
 	if err := f.Sync(); err != nil {
+		_ = f.Truncate(p.logSize[id])
 		return err
 	}
-	p.sizes[id] += int64(len(line))
+	p.sizes[id] += int64(len(disk))
+	p.logSize[id] += int64(len(disk))
+	p.crcs[id] = crc32.Update(p.crcs[id], crcTable, line)
+	p.counts[id]++
 	return nil
 }
 
@@ -201,6 +296,9 @@ func (p *filePersister) remove(id string) error {
 	}
 	delete(p.sizes, id)
 	delete(p.manifestSize, id)
+	delete(p.logSize, id)
+	delete(p.crcs, id)
+	delete(p.counts, id)
 	return os.RemoveAll(p.jobDir(id))
 }
 
@@ -215,10 +313,15 @@ func (p *filePersister) diskBytes() int64 {
 	return total
 }
 
-// load scans the store directory and recovers every job, truncating any
-// partial trailing result line left by a crash mid-append. Jobs whose
-// manifest is unreadable are skipped (their directories are left in place
-// for operator inspection); load fails only on I/O errors reading the root.
+// load scans the store directory and recovers every job, truncating the
+// result log to its last checksum-verified record (a torn or bit-flipped
+// tail left by a crash or disk fault is dropped and, for running jobs,
+// re-evaluated on resume). A completed job whose log no longer matches the
+// count and rolling CRC sealed in its manifest is demoted to failed/storage
+// — corruption becomes a typed terminal error, never silently wrong bytes.
+// Jobs whose manifest is unreadable are skipped (their directories are left
+// in place for operator inspection); load fails only on I/O errors reading
+// the root.
 func (p *filePersister) load() ([]persistedJob, error) {
 	entries, err := os.ReadDir(p.dir)
 	if err != nil {
@@ -230,6 +333,10 @@ func (p *filePersister) load() ([]persistedJob, error) {
 			continue
 		}
 		id := ent.Name()
+		// A leftover manifest.json.tmp means the atomic replace was
+		// interrupted between write and rename; the committed manifest (if
+		// any) is authoritative, the tmp is garbage.
+		_ = os.Remove(filepath.Join(p.jobDir(id), "manifest.json.tmp"))
 		raw, err := os.ReadFile(filepath.Join(p.jobDir(id), "manifest.json"))
 		if err != nil {
 			continue // no manifest (crash before first save, or foreign dir)
@@ -238,14 +345,31 @@ func (p *filePersister) load() ([]persistedJob, error) {
 		if err := json.Unmarshal(raw, &m); err != nil || m.ID != id {
 			continue // torn or foreign manifest; leave for inspection
 		}
-		lines, valid, err := readResultLog(filepath.Join(p.jobDir(id), "results.ndjson"))
+		lines, chain, valid, err := p.readResultLog(filepath.Join(p.jobDir(id), "results.ndjson"))
 		if err != nil {
 			return nil, err
 		}
 		p.mu.Lock()
 		p.manifestSize[id] = int64(len(raw))
 		p.sizes[id] = int64(len(raw)) + valid
+		p.logSize[id] = valid
+		p.crcs[id] = chain
+		p.counts[id] = len(lines)
 		p.mu.Unlock()
+		if m.State == JobCompleted && m.ResultsCRC != "" {
+			gotCRC := fmt.Sprintf("%08x", chain)
+			if m.ResultRecords != len(lines) || m.ResultsCRC != gotCRC {
+				m.Error = fmt.Sprintf(
+					"result log failed verification on replay: manifest sealed %d records (crc %s), log has %d verified records (crc %s)",
+					m.ResultRecords, m.ResultsCRC, len(lines), gotCRC)
+				m.State = JobFailed
+				m.Reason = ReasonStorage
+				// Persist the demotion so the diagnosis survives the next
+				// restart too (best effort: the job is already failed in
+				// memory even if this write loses a race with the disk).
+				_ = p.saveManifest(m)
+			}
+		}
 		jobs = append(jobs, persistedJob{manifest: m, lines: lines})
 	}
 	sort.Slice(jobs, func(i, j int) bool {
@@ -278,30 +402,48 @@ func (p *filePersister) crashForTest() {
 	}
 }
 
-// readResultLog reads the complete NDJSON lines of a result log, truncating
-// the file past the last newline so an interrupted append never corrupts a
-// later resume (the half-written record is re-evaluated instead). A missing
-// file is an empty log.
-func readResultLog(path string) (lines [][]byte, validBytes int64, err error) {
+// readResultLog reads a result log back as verified payloads: each disk
+// line must be newline-terminated and pass its CRC32C check. The scan stops
+// at the first bad line — torn by a crash, bit-flipped by the disk, or
+// flipped by the store.replay.corrupt injection — and the file is truncated
+// to the verified prefix, so an interrupted or corrupted append never
+// poisons a later resume (the lost records are re-evaluated instead).
+// Returns the payloads (pure JSON, CRC prefixes stripped), the rolling CRC
+// chain over them, and the verified on-disk byte count. A missing file is
+// an empty log.
+func (p *filePersister) readResultLog(path string) (lines [][]byte, chain uint32, validBytes int64, err error) {
 	raw, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, nil
+		return nil, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("service: job result log: %w", err)
+		return nil, 0, 0, fmt.Errorf("service: job result log: %w", err)
 	}
-	valid := bytes.LastIndexByte(raw, '\n') + 1 // 0 when no complete line
-	if valid < len(raw) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
-			return nil, 0, fmt.Errorf("service: truncate partial record: %w", err)
+	if d := p.inject.Eval(faultinject.StoreReplayCorrupt); d.Fire && len(raw) > 0 {
+		raw[len(raw)/2] ^= 0x04 // simulated disk corruption mid-log
+	}
+	var valid int64
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := raw[off : off+nl+1]
+		payload, ok := decodeRecordLine(line)
+		if !ok {
+			break // malformed prefix or checksum mismatch
+		}
+		lines = append(lines, payload)
+		chain = crc32.Update(chain, crcTable, payload)
+		off += nl + 1
+		valid = int64(off)
+	}
+	if valid < int64(len(raw)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, 0, 0, fmt.Errorf("service: truncate unverified records: %w", err)
 		}
 	}
-	for _, l := range bytes.SplitAfter(raw[:valid], []byte("\n")) {
-		if len(l) > 0 {
-			lines = append(lines, l)
-		}
-	}
-	return lines, int64(valid), nil
+	return lines, chain, valid, nil
 }
 
 // jobSeq extracts the numeric sequence of a "job-N" ID (0 when malformed),

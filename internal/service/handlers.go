@@ -68,6 +68,8 @@ func NewMux(e *Engine, jobs JobStore, extra ...Route) *http.ServeMux {
 		st.DispatchShardsLeased = ds.ShardsLeased
 		st.DispatchShardsCompleted = ds.ShardsCompleted
 		st.DispatchShardsExpired = ds.ShardsExpired
+		st.DispatchShardsQuarantined = ds.ShardsQuarantined
+		st.DispatchRetries = ds.Retries
 		st.WorkersActive = ds.WorkersActive
 		writeJSON(w, http.StatusOK, st)
 	})

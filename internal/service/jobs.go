@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dmfb/internal/faultinject"
 	"dmfb/internal/telemetry"
 )
 
@@ -29,6 +30,30 @@ var ErrNotReady = errors.New("job store not ready")
 // errStoreClosed rejects job creation during shutdown; handlers map it to
 // HTTP 503 like any other unavailability.
 var errStoreClosed = errors.New("service: job store is shut down")
+
+// errStorage tags job failures caused by the durable backend (failed write,
+// failed fsync, out of disk) rather than by evaluation; such jobs terminate
+// with Reason ReasonStorage instead of wedging the store.
+var errStorage = errors.New("storage failure")
+
+// Terminal failure reasons, surfaced in JobStatus.Reason and the durable
+// manifest alongside State=="failed". Clients that need to distinguish
+// retry-worthy failures from poisoned inputs switch on this field; see
+// API.md for the full taxonomy.
+const (
+	// ReasonEvaluation: the sweep itself failed (bad request surviving
+	// validation, engine error). Retrying the same request will likely fail
+	// again.
+	ReasonEvaluation = "evaluation"
+	// ReasonStorage: the durable backend could not commit results (I/O
+	// error, no space, corruption detected on replay). The computation was
+	// fine; retry after the operator fixes the disk.
+	ReasonStorage = "storage"
+	// ReasonPoisonShard: a distributed shard exhausted its dispatch budget
+	// (every worker that leased it crashed or failed). The job is quarantined
+	// rather than redispatched forever.
+	ReasonPoisonShard = "poison_shard"
+)
 
 // JobState names a sweep job's lifecycle phase.
 type JobState string
@@ -60,6 +85,9 @@ type JobStatus struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 	// Error describes why a failed job stopped.
 	Error string `json:"error,omitempty"`
+	// Reason classifies a failed job's terminal cause ("evaluation",
+	// "storage", "poison_shard"); empty for non-failed jobs.
+	Reason string `json:"reason,omitempty"`
 	// Distributed reports whether the job is sharded across remote workers.
 	Distributed bool `json:"distributed,omitempty"`
 }
@@ -119,6 +147,10 @@ type JobStoreConfig struct {
 	// Runner executes jobs that request distributed mode by sharding them
 	// across remote workers. nil rejects distributed jobs with a 400.
 	Runner DistributedRunner
+	// Inject supplies a chaos fault schedule to the durable backend (torn
+	// writes, fsync failures, ENOSPC, replay corruption). nil — the default
+	// and the production setting — disables injection entirely.
+	Inject *faultinject.Injector
 }
 
 // Store is the canonical JobStore implementation: the lifecycle of
@@ -231,6 +263,7 @@ func newFileJobStore(e *Engine, cfg JobStoreConfig, dir string, gate chan struct
 	if err != nil {
 		return nil, err
 	}
+	p.inject = cfg.Inject
 	s := newStore(e, cfg, p)
 	e.Registry().GaugeFunc("dmfb_job_store_disk_bytes",
 		"Bytes held on disk by the durable job store (manifests and result logs).",
@@ -281,6 +314,7 @@ func (s *Store) replay() {
 			bytes:       total,
 			state:       m.State,
 			errMsg:      m.Error,
+			reason:      m.Reason,
 			created:     m.CreatedAt,
 			done:        make(chan struct{}),
 			update:      make(chan struct{}),
@@ -318,6 +352,7 @@ func (s *Store) replay() {
 		if perr != nil {
 			j.state = JobFailed
 			j.errMsg = perr.Error()
+			j.reason = ReasonEvaluation
 			j.finished = time.Now()
 			j.accounted = true
 			s.finishedBytes += j.bytes
@@ -379,6 +414,7 @@ type Job struct {
 	accounted  bool  // bytes added to the store's finishedBytes
 	state      JobState
 	errMsg     string
+	reason     string // terminal failure classification (Reason* constants)
 	created    time.Time
 	finished   time.Time
 	userCancel bool          // cancelled by a client, not by store shutdown
@@ -435,6 +471,7 @@ func (s *Store) Create(ctx context.Context, req SweepRequest) (*Job, error) {
 	if err := s.persist.saveManifest(j.manifest()); err != nil {
 		cancel()
 		s.mu.Unlock()
+		s.engine.metrics.storeWriteErrors.Inc()
 		return nil, fmt.Errorf("service: persist job manifest: %w", err)
 	}
 	s.jobs[j.id] = j
@@ -454,6 +491,7 @@ func (j *Job) manifest() jobManifest {
 		ID:          j.id,
 		State:       j.state,
 		Error:       j.errMsg,
+		Reason:      j.reason,
 		TotalPoints: j.totalPoints,
 		CreatedAt:   j.created,
 		Request:     j.req,
@@ -472,6 +510,7 @@ func (s *Store) persistTerminal(j *Job) {
 	m := j.manifest()
 	j.mu.Unlock()
 	if err := s.persist.saveManifest(m); err != nil {
+		s.engine.metrics.storeWriteErrors.Inc()
 		s.logger().Error("persist terminal job state",
 			slog.String("job", j.id), slog.String("error", err.Error()))
 	}
@@ -692,7 +731,8 @@ func (j *Job) run(ctx context.Context) {
 		}
 		line = append(line, '\n')
 		if err := j.store.persist.appendResult(j.id, line); err != nil {
-			return fmt.Errorf("persist result record: %w", err)
+			j.store.engine.metrics.storeWriteErrors.Inc()
+			return fmt.Errorf("%w: persist result record: %v", errStorage, err)
 		}
 		j.mu.Lock()
 		j.lines = append(j.lines, line)
@@ -724,6 +764,14 @@ func (j *Job) run(ctx context.Context) {
 	default:
 		j.state = JobFailed
 		j.errMsg = err.Error()
+		switch {
+		case errors.Is(err, errStorage):
+			j.reason = ReasonStorage
+		case errors.Is(err, ErrPoisonShard):
+			j.reason = ReasonPoisonShard
+		default:
+			j.reason = ReasonEvaluation
+		}
 		j.store.failed.Add(1)
 	}
 	j.finished = time.Now()
@@ -771,6 +819,7 @@ func (j *Job) Status() JobStatus {
 		PointsDone:  len(j.lines),
 		CreatedAt:   j.created,
 		Error:       j.errMsg,
+		Reason:      j.reason,
 		Distributed: j.distributed,
 	}
 	if j.state.terminal() {

@@ -35,6 +35,11 @@ type serviceMetrics struct {
 	// byte bounds.
 	jobDuration  *telemetry.Histogram
 	jobEvictions *telemetry.Counter
+	// storeWriteErrors counts durable-store write failures (manifest saves
+	// and result appends that errored); each one turns into a typed
+	// failed/storage job rather than a wedged store, so a non-zero rate here
+	// is an operator page, not a client bug.
+	storeWriteErrors *telemetry.Counter
 }
 
 // jobDurationBuckets spans the realistic job range: sub-second cached grids
@@ -64,6 +69,8 @@ func newServiceMetrics(r *telemetry.Registry) *serviceMetrics {
 			"Wall time of one sweep job from creation to terminal state.", jobDurationBuckets),
 		jobEvictions: r.Counter("dmfb_job_evictions_total",
 			"Finished jobs evicted to satisfy the store's retention bounds."),
+		storeWriteErrors: r.Counter("dmfb_store_write_errors_total",
+			"Durable job-store write failures (manifest saves and result appends)."),
 	}
 	// Materialize both stream children so the family is present on the very
 	// first scrape, before any NDJSON response has flushed.

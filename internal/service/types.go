@@ -346,9 +346,11 @@ type StatsResponse struct {
 	JobStoreDiskBytes int64 `json:"job_store_disk_bytes"`
 	// Dispatch counters accumulate over the coordinator's lifetime; all zero
 	// when distributed dispatch is not enabled.
-	DispatchShardsLeased    uint64 `json:"dispatch_shards_leased"`
-	DispatchShardsCompleted uint64 `json:"dispatch_shards_completed"`
-	DispatchShardsExpired   uint64 `json:"dispatch_shards_expired"`
+	DispatchShardsLeased      uint64 `json:"dispatch_shards_leased"`
+	DispatchShardsCompleted   uint64 `json:"dispatch_shards_completed"`
+	DispatchShardsExpired     uint64 `json:"dispatch_shards_expired"`
+	DispatchShardsQuarantined uint64 `json:"dispatch_shards_quarantined"`
+	DispatchRetries           uint64 `json:"dispatch_retries"`
 	// WorkersActive counts registered workers seen within the liveness window.
 	WorkersActive int `json:"workers_active"`
 }
